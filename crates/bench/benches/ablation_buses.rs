@@ -1,0 +1,38 @@
+//! Ablation A4: result-bus count. The model architecture has a single
+//! result bus (§2) where the real CRAY-1 had separate address/scalar
+//! result paths — this sweep quantifies what the single bus costs.
+//!
+//! Run with `cargo bench -p ruu-bench --bench ablation_buses`.
+
+use ruu_bench::{harness, report};
+use ruu_issue::{Bypass, Mechanism};
+use ruu_sim_core::MachineConfig;
+
+fn main() {
+    let mut rows = Vec::new();
+    for buses in [1u32, 2, 3] {
+        let cfg = MachineConfig::paper().with_result_buses(buses);
+        for (label, m) in [
+            (format!("simple, {buses} bus(es)"), Mechanism::Simple),
+            (
+                format!("RUU(15, bypass), {buses} bus(es)"),
+                Mechanism::Ruu {
+                    entries: 15,
+                    bypass: Bypass::Full,
+                },
+            ),
+        ] {
+            let pts = harness::sweep(&cfg, &[15], |_| m);
+            rows.push((label, pts[0].speedup, pts[0].issue_rate));
+        }
+    }
+    print!(
+        "{}",
+        report::format_plain_sweep("Ablation A4 — result buses", "configuration", &rows)
+    );
+    println!();
+    println!(
+        "Note: speedups are relative to the 1-bus simple baseline within each bus count's \
+         own sweep; compare issue rates across rows."
+    );
+}

@@ -1,0 +1,35 @@
+//! Ablation A3: width of the per-register NI/LI instance counters. The
+//! paper used 3 bits (up to 7 in-flight instances of one register) and
+//! reports that issue never blocked on an unavailable instance (§5.1).
+//!
+//! Run with `cargo bench -p ruu-bench --bench ablation_counters`.
+
+use ruu_bench::{harness, report};
+use ruu_issue::{Bypass, Mechanism};
+use ruu_sim_core::MachineConfig;
+
+fn main() {
+    let mut rows = Vec::new();
+    for bits in [1u32, 2, 3, 4] {
+        let cfg = MachineConfig::paper().with_counter_bits(bits);
+        let pts = harness::sweep(&cfg, &[20], |entries| Mechanism::Ruu {
+            entries,
+            bypass: Bypass::Full,
+        });
+        rows.push((
+            format!("{bits}-bit counters (max {} instances)", (1u32 << bits) - 1),
+            pts[0].speedup,
+            pts[0].issue_rate,
+        ));
+    }
+    print!(
+        "{}",
+        report::format_plain_sweep(
+            "Ablation A3 — NI/LI counter width (RUU, 20 entries, full bypass)",
+            "configuration",
+            &rows
+        )
+    );
+    println!();
+    println!("Expectation (paper §5.1): 3 bits never block; 1 bit serialises same-register writes.");
+}

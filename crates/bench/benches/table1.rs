@@ -1,0 +1,20 @@
+//! Regenerates **Table 1** of the paper: per-loop statistics of the simple
+//! issue mechanism on the Lawrence Livermore loops.
+//!
+//! Run with `cargo bench -p ruu-bench --bench table1`.
+
+use ruu_bench::{baseline_rows, report};
+use ruu_sim_core::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::paper();
+    let rows = baseline_rows(&cfg);
+    println!("## Table 1 — statistics for the benchmark programs (simple issue)");
+    println!();
+    print!("{}", report::format_table1(&rows));
+    println!();
+    println!(
+        "Note: 'ours' runs hand-compiled kernels (DESIGN.md §1); absolute counts differ \
+         from the paper's CFT-compiled code, shapes are compared in tests/shape_checks.rs."
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates **Table 2** of the paper: relative speedup and issue rate
+//! of the RSTU (one dispatch path) vs. the number of RSTU entries.
+//!
+//! Run with `cargo bench -p ruu-bench --bench table2`.
+
+use ruu_bench::{paper, report, sweep};
+use ruu_issue::Mechanism;
+use ruu_sim_core::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::paper();
+    let entries: Vec<usize> = paper::TABLE2.iter().map(|&(e, ..)| e).collect();
+    let pts = sweep(&cfg, &entries, |entries| Mechanism::Rstu { entries });
+    print!(
+        "{}",
+        report::format_sweep(
+            "Table 2 — relative speedup and issue rate with a RSTU",
+            &pts,
+            &paper::TABLE2
+        )
+    );
+}

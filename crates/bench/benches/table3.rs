@@ -1,0 +1,22 @@
+//! Regenerates **Table 3** of the paper: the RSTU with two data paths to
+//! the functional units.
+//!
+//! Run with `cargo bench -p ruu-bench --bench table3`.
+
+use ruu_bench::{paper, report, sweep};
+use ruu_issue::Mechanism;
+use ruu_sim_core::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::paper().with_dispatch_paths(2);
+    let entries: Vec<usize> = paper::TABLE3.iter().map(|&(e, ..)| e).collect();
+    let pts = sweep(&cfg, &entries, |entries| Mechanism::Rstu { entries });
+    print!(
+        "{}",
+        report::format_sweep(
+            "Table 3 — RSTU with 2 data paths to the functional units",
+            &pts,
+            &paper::TABLE3
+        )
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Table 4** of the paper: the RUU **with bypass logic**.
+//!
+//! Run with `cargo bench -p ruu-bench --bench table4`.
+
+use ruu_bench::{paper, report, sweep};
+use ruu_issue::{Bypass, Mechanism};
+use ruu_sim_core::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::paper();
+    let entries: Vec<usize> = paper::TABLE4.iter().map(|&(e, ..)| e).collect();
+    let pts = sweep(&cfg, &entries, |entries| Mechanism::Ruu {
+        entries,
+        bypass: Bypass::Full,
+    });
+    print!(
+        "{}",
+        report::format_sweep(
+            "Table 4 — RUU with bypass logic (precise interrupts)",
+            &pts,
+            &paper::TABLE4
+        )
+    );
+}

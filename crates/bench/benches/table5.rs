@@ -1,0 +1,26 @@
+//! Regenerates **Table 5** of the paper: the RUU **without bypass logic**
+//! (reservation stations monitor the result bus and the RUU→register-file
+//! bus only).
+//!
+//! Run with `cargo bench -p ruu-bench --bench table5`.
+
+use ruu_bench::{paper, report, sweep};
+use ruu_issue::{Bypass, Mechanism};
+use ruu_sim_core::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::paper();
+    let entries: Vec<usize> = paper::TABLE5.iter().map(|&(e, ..)| e).collect();
+    let pts = sweep(&cfg, &entries, |entries| Mechanism::Ruu {
+        entries,
+        bypass: Bypass::None,
+    });
+    print!(
+        "{}",
+        report::format_sweep(
+            "Table 5 — RUU without bypass logic",
+            &pts,
+            &paper::TABLE5
+        )
+    );
+}

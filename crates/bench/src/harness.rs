@@ -1,0 +1,148 @@
+//! Sweep harness: runs the Livermore suite under any mechanism and
+//! aggregates the paper's metrics.
+
+use ruu_issue::Mechanism;
+use ruu_sim_core::MachineConfig;
+use ruu_workloads::{livermore, Workload};
+
+/// One row of a Table-1-style baseline report.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// Loop name.
+    pub name: &'static str,
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Clock cycles to execute.
+    pub cycles: u64,
+}
+
+impl BaselineRow {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn issue_rate(&self) -> f64 {
+        self.instructions as f64 / self.cycles as f64
+    }
+}
+
+/// One point of a mechanism sweep (Tables 2–6 style).
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Window entries.
+    pub entries: usize,
+    /// Total cycles over the suite.
+    pub cycles: u64,
+    /// Total instructions over the suite.
+    pub instructions: u64,
+    /// Speedup relative to the baseline suite cycles.
+    pub speedup: f64,
+    /// Aggregate instructions per cycle.
+    pub issue_rate: f64,
+}
+
+fn run_suite(mechanism: Mechanism, config: &MachineConfig, suite: &[Workload]) -> (u64, u64) {
+    let mut cycles = 0;
+    let mut insts = 0;
+    for w in suite {
+        let r = mechanism
+            .run(config, &w.program, w.memory.clone(), w.inst_limit)
+            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", mechanism, w.name));
+        w.verify(&r.memory)
+            .unwrap_or_else(|e| panic!("{} wrong result on {}: {e}", mechanism, w.name));
+        cycles += r.cycles;
+        insts += r.instructions;
+    }
+    (cycles, insts)
+}
+
+/// Runs the baseline (simple issue) over the full Livermore suite,
+/// returning per-loop rows plus a `Total` row (paper Table 1).
+#[must_use]
+pub fn baseline_rows(config: &MachineConfig) -> Vec<BaselineRow> {
+    let mut rows = Vec::new();
+    let mut total_i = 0;
+    let mut total_c = 0;
+    for w in livermore::all() {
+        let r = Mechanism::Simple
+            .run(config, &w.program, w.memory.clone(), w.inst_limit)
+            .unwrap_or_else(|e| panic!("baseline failed on {}: {e}", w.name));
+        w.verify(&r.memory)
+            .unwrap_or_else(|e| panic!("baseline wrong result on {}: {e}", w.name));
+        total_i += r.instructions;
+        total_c += r.cycles;
+        rows.push(BaselineRow {
+            name: w.name,
+            instructions: r.instructions,
+            cycles: r.cycles,
+        });
+    }
+    rows.push(BaselineRow {
+        name: "Total",
+        instructions: total_i,
+        cycles: total_c,
+    });
+    rows
+}
+
+/// Total baseline cycles over the suite (the denominator of every
+/// "relative speedup" in the paper).
+#[must_use]
+pub fn baseline_total_cycles(config: &MachineConfig) -> u64 {
+    baseline_rows(config)
+        .last()
+        .expect("total row is always present")
+        .cycles
+}
+
+/// Sweeps a mechanism over window sizes, reporting paper-style speedup
+/// (vs. the simple-issue baseline) and aggregate issue rate.
+#[must_use]
+pub fn sweep(
+    config: &MachineConfig,
+    entries_list: &[usize],
+    make: impl Fn(usize) -> Mechanism,
+) -> Vec<SweepPoint> {
+    let suite = livermore::all();
+    let baseline = {
+        let (c, _) = run_suite(Mechanism::Simple, config, &suite);
+        c
+    };
+    entries_list
+        .iter()
+        .map(|&entries| {
+            let (cycles, instructions) = run_suite(make(entries), config, &suite);
+            SweepPoint {
+                entries,
+                cycles,
+                instructions,
+                speedup: baseline as f64 / cycles as f64,
+                issue_rate: instructions as f64 / cycles as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruu_issue::Bypass;
+
+    #[test]
+    fn baseline_rows_cover_all_loops() {
+        let rows = baseline_rows(&MachineConfig::paper());
+        assert_eq!(rows.len(), 15);
+        assert_eq!(rows[14].name, "Total");
+        let sum: u64 = rows[..14].iter().map(|r| r.instructions).sum();
+        assert_eq!(sum, rows[14].instructions);
+    }
+
+    #[test]
+    fn sweep_reports_relative_speedup() {
+        let cfg = MachineConfig::paper();
+        let pts = sweep(&cfg, &[10], |entries| Mechanism::Ruu {
+            entries,
+            bypass: Bypass::Full,
+        });
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].speedup > 0.5 && pts[0].speedup < 3.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The numbers published in the paper, for side-by-side comparison.
+//!
+//! Absolute agreement is not expected — the paper ran CFT-compiled code,
+//! we run hand-compiled kernels — but the *shapes* (ordering, saturation,
+//! crossovers) are asserted by `tests/shape_checks.rs` at the repo root.
+
+/// Paper Table 1: per-loop baseline statistics.
+/// `(name, instructions, cycles, issue rate)`.
+pub const TABLE1: [(&str, u64, u64, f64); 15] = [
+    ("LLL1", 7217, 17234, 0.419),
+    ("LLL2", 8448, 17102, 0.494),
+    ("LLL3", 14015, 36023, 0.389),
+    ("LLL4", 9783, 20643, 0.474),
+    ("LLL5", 8347, 20696, 0.403),
+    ("LLL6", 9350, 22034, 0.424),
+    ("LLL7", 4573, 10231, 0.447),
+    ("LLL8", 4031, 8026, 0.502),
+    ("LLL9", 4918, 10134, 0.485),
+    ("LLL10", 4412, 9420, 0.468),
+    ("LLL11", 12002, 28002, 0.429),
+    ("LLL12", 11999, 27991, 0.429),
+    ("LLL13", 8846, 17814, 0.497),
+    ("LLL14", 9915, 23573, 0.421),
+    ("Total", 117_856, 268_923, 0.438),
+];
+
+/// Paper Table 2: RSTU, 1 data path — `(entries, speedup, issue rate)`.
+pub const TABLE2: [(usize, f64, f64); 12] = [
+    (3, 0.965, 0.423),
+    (4, 1.140, 0.499),
+    (5, 1.294, 0.567),
+    (6, 1.424, 0.624),
+    (7, 1.479, 0.648),
+    (8, 1.553, 0.681),
+    (9, 1.587, 0.696),
+    (10, 1.642, 0.720),
+    (15, 1.763, 0.773),
+    (20, 1.798, 0.788),
+    (25, 1.820, 0.798),
+    (30, 1.821, 0.798),
+];
+
+/// Paper Table 3: RSTU, 2 data paths — `(entries, speedup, issue rate)`.
+pub const TABLE3: [(usize, f64, f64); 12] = [
+    (3, 0.976, 0.428),
+    (4, 1.155, 0.506),
+    (5, 1.310, 0.574),
+    (6, 1.442, 0.632),
+    (7, 1.515, 0.664),
+    (8, 1.586, 0.695),
+    (9, 1.634, 0.716),
+    (10, 1.667, 0.730),
+    (15, 1.796, 0.787),
+    (20, 1.832, 0.803),
+    (25, 1.843, 0.808),
+    (30, 1.845, 0.809),
+];
+
+/// Paper Table 4: RUU with bypass — `(entries, speedup, issue rate)`.
+pub const TABLE4: [(usize, f64, f64); 12] = [
+    (3, 0.853, 0.374),
+    (4, 0.937, 0.411),
+    (6, 1.077, 0.472),
+    (8, 1.246, 0.546),
+    (10, 1.378, 0.604),
+    (12, 1.502, 0.658),
+    (15, 1.597, 0.700),
+    (20, 1.668, 0.731),
+    (25, 1.713, 0.751),
+    (30, 1.755, 0.769),
+    (40, 1.780, 0.780),
+    (50, 1.786, 0.783),
+];
+
+/// Paper Table 5: RUU without bypass — `(entries, speedup, issue rate)`.
+pub const TABLE5: [(usize, f64, f64); 12] = [
+    (3, 0.825, 0.361),
+    (4, 0.906, 0.397),
+    (6, 1.030, 0.451),
+    (8, 1.070, 0.469),
+    (10, 1.102, 0.483),
+    (12, 1.190, 0.522),
+    (15, 1.212, 0.531),
+    (20, 1.291, 0.566),
+    (25, 1.337, 0.586),
+    (30, 1.365, 0.598),
+    (40, 1.447, 0.634),
+    (50, 1.475, 0.646),
+];
+
+/// Paper Table 6: RUU with limited bypass — `(entries, speedup, issue
+/// rate)`.
+pub const TABLE6: [(usize, f64, f64); 12] = [
+    (3, 0.846, 0.371),
+    (4, 0.928, 0.407),
+    (6, 1.064, 0.466),
+    (8, 1.115, 0.489),
+    (10, 1.266, 0.555),
+    (12, 1.303, 0.571),
+    (15, 1.420, 0.622),
+    (20, 1.448, 0.635),
+    (25, 1.484, 0.651),
+    (30, 1.505, 0.660),
+    (40, 1.518, 0.665),
+    (50, 1.547, 0.678),
+];
+
+/// Paper value for a sweep table at a given entry count, if listed.
+#[must_use]
+pub fn lookup(table: &[(usize, f64, f64)], entries: usize) -> Option<(f64, f64)> {
+    table
+        .iter()
+        .find(|(e, _, _)| *e == entries)
+        .map(|&(_, s, r)| (s, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_monotone_in_entries() {
+        for t in [&TABLE2, &TABLE3, &TABLE4, &TABLE5, &TABLE6] {
+            for w in t.windows(2) {
+                assert!(w[1].0 > w[0].0);
+                assert!(w[1].1 >= w[0].1, "speedup monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_orderings_hold_internally() {
+        // RSTU(2 paths) >= RSTU >= RUU-bypass >= limited >= none at 30.
+        let at = |t: &[(usize, f64, f64)]| lookup(t, 30).unwrap().0;
+        assert!(at(&TABLE3) >= at(&TABLE2));
+        assert!(at(&TABLE2) >= at(&TABLE4));
+        assert!(at(&TABLE4) >= at(&TABLE6));
+        assert!(at(&TABLE6) >= at(&TABLE5));
+    }
+
+    #[test]
+    fn table1_total_is_consistent() {
+        let (insts, cycles): (u64, u64) = TABLE1[..14]
+            .iter()
+            .fold((0, 0), |(i, c), r| (i + r.1, c + r.2));
+        assert_eq!(insts, TABLE1[14].1);
+        assert_eq!(cycles, TABLE1[14].2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Table formatting for the bench targets: measured values printed next
+//! to the paper's published numbers.
+
+use crate::harness::{BaselineRow, SweepPoint};
+use crate::paper;
+
+/// Formats a Table-1-style report (per-loop baseline statistics) with the
+/// paper's numbers alongside.
+#[must_use]
+pub fn format_table1(rows: &[BaselineRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| Loop   | insts (ours) | cycles (ours) | rate (ours) | insts (paper) | cycles (paper) | rate (paper) |"
+    );
+    let _ = writeln!(
+        out,
+        "|--------|-------------:|--------------:|------------:|--------------:|---------------:|-------------:|"
+    );
+    for row in rows {
+        let p = paper::TABLE1.iter().find(|(n, ..)| *n == row.name);
+        let (pi, pc, pr) = p.map_or((0, 0, 0.0), |&(_, i, c, r)| (i, c, r));
+        let _ = writeln!(
+            out,
+            "| {:<6} | {:>12} | {:>13} | {:>11.3} | {:>13} | {:>14} | {:>12.3} |",
+            row.name,
+            row.instructions,
+            row.cycles,
+            row.issue_rate(),
+            pi,
+            pc,
+            pr,
+        );
+    }
+    out
+}
+
+/// Formats a sweep table (Tables 2–6 style) with the paper's numbers
+/// alongside.
+#[must_use]
+pub fn format_sweep(title: &str, points: &[SweepPoint], paper_table: &[(usize, f64, f64)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}");
+    let _ = writeln!(
+        out,
+        "| Entries | speedup (ours) | rate (ours) | speedup (paper) | rate (paper) |"
+    );
+    let _ = writeln!(
+        out,
+        "|--------:|---------------:|------------:|----------------:|-------------:|"
+    );
+    for p in points {
+        let (ps, pr) = paper::lookup(paper_table, p.entries).unwrap_or((f64::NAN, f64::NAN));
+        let _ = writeln!(
+            out,
+            "| {:>7} | {:>14.3} | {:>11.3} | {:>15.3} | {:>12.3} |",
+            p.entries, p.speedup, p.issue_rate, ps, pr,
+        );
+    }
+    out
+}
+
+/// Formats a plain sweep table with no paper reference (ablations).
+#[must_use]
+pub fn format_plain_sweep(title: &str, header: &str, rows: &[(String, f64, f64)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}");
+    let _ = writeln!(out, "| {header} | speedup | issue rate |");
+    let _ = writeln!(out, "|---|---:|---:|");
+    for (label, speedup, rate) in rows {
+        let _ = writeln!(out, "| {label} | {speedup:.3} | {rate:.3} |");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_formatting_includes_paper_columns() {
+        let rows = vec![BaselineRow {
+            name: "LLL1",
+            instructions: 100,
+            cycles: 250,
+        }];
+        let s = format_table1(&rows);
+        assert!(s.contains("LLL1"));
+        assert!(s.contains("7217")); // paper column
+        assert!(s.contains("0.400")); // our rate
+    }
+
+    #[test]
+    fn sweep_formatting_includes_paper_lookup() {
+        let pts = vec![SweepPoint {
+            entries: 10,
+            cycles: 1000,
+            instructions: 700,
+            speedup: 1.5,
+            issue_rate: 0.7,
+        }];
+        let s = format_sweep("Table 2", &pts, &paper::TABLE2);
+        assert!(s.contains("1.642")); // paper speedup at 10 entries
+        assert!(s.contains("1.500"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # ruu-exec — golden architectural interpreter
+//!
+//! A simple, obviously-correct interpreter for the `ruu-isa` model
+//! architecture. It defines the *architectural* semantics that every timing
+//! simulator in `ruu-issue` must reproduce: the golden-equivalence tests
+//! run a program both here and on a timing simulator and require identical
+//! final register files and memories, and the precise-interrupt tests
+//! require a recovered machine state to equal this interpreter's state at
+//! the corresponding dynamic-instruction boundary.
+//!
+//! The crate also produces dynamic instruction [`Trace`]s and
+//! instruction-mix statistics, which back Table 1 of the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use ruu_exec::{Executor, Memory};
+//! use ruu_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new("t");
+//! a.a_imm(Reg::a(1), 2);
+//! a.a_imm(Reg::a(2), 3);
+//! a.a_add(Reg::a(3), Reg::a(1), Reg::a(2));
+//! a.halt();
+//! let p = a.assemble()?;
+//!
+//! let mut ex = Executor::new(Memory::new(1 << 10));
+//! let summary = ex.run(&p, 100)?;
+//! assert_eq!(summary.instructions, 3); // halt not counted
+//! assert_eq!(ex.state().reg(Reg::a(3)), 5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod executor;
+mod memory;
+mod state;
+mod trace;
+
+pub use executor::{golden_state_at, ExecError, ExecSummary, Executor, StepOutcome};
+pub use memory::Memory;
+pub use state::{ArchState, RegValues};
+pub use trace::{InstMix, Trace, TraceEvent};

@@ -1,0 +1,224 @@
+//! Dynamic instruction traces and instruction-mix statistics.
+
+use std::fmt;
+
+use ruu_isa::{FuClass, Inst, Program};
+
+use crate::executor::{ExecError, Executor, StepOutcome};
+use crate::memory::Memory;
+use crate::state::ArchState;
+
+/// One dynamically executed instruction, as recorded by the golden
+/// interpreter.
+///
+/// The paper's methodology is trace-driven (§2.1: CRAY-1 simulator traces
+/// fed to issue-logic simulators); our timing simulators are
+/// execution-driven, but traces remain useful for instruction-mix
+/// statistics and for cross-checking the committed instruction streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Dynamic instruction index (0-based).
+    pub index: u64,
+    /// Program counter.
+    pub pc: u32,
+    /// The instruction.
+    pub inst: Inst,
+    /// Result value written to the destination register, if any.
+    pub result: Option<u64>,
+    /// Effective address, for memory operations.
+    pub ea: Option<u64>,
+    /// Branch outcome, for branches.
+    pub taken: Option<bool>,
+    /// Value stored to memory, for stores.
+    pub store_value: Option<u64>,
+}
+
+/// Instruction-mix statistics over a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstMix {
+    /// Dynamic instruction count per functional-unit class.
+    pub per_fu: [u64; FuClass::ALL.len()],
+    /// Number of branch instructions.
+    pub branches: u64,
+    /// Number of taken branches.
+    pub taken_branches: u64,
+    /// Number of loads.
+    pub loads: u64,
+    /// Number of stores.
+    pub stores: u64,
+    /// Total dynamic instructions.
+    pub total: u64,
+}
+
+impl InstMix {
+    /// Records one dynamic instruction.
+    pub fn record(&mut self, ev: &TraceEvent) {
+        self.total += 1;
+        if let Some(fu) = ev.inst.fu_class() {
+            self.per_fu[fu.index()] += 1;
+        }
+        if ev.inst.is_branch() {
+            self.branches += 1;
+            if ev.taken == Some(true) {
+                self.taken_branches += 1;
+            }
+        }
+        if ev.inst.is_load() {
+            self.loads += 1;
+        }
+        if ev.inst.is_store() {
+            self.stores += 1;
+        }
+    }
+
+    /// Dynamic count for a functional-unit class.
+    #[must_use]
+    pub fn fu_count(&self, fu: FuClass) -> u64 {
+        self.per_fu[fu.index()]
+    }
+}
+
+impl fmt::Display for InstMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total {:>8}", self.total)?;
+        for fu in FuClass::ALL {
+            let n = self.fu_count(fu);
+            if n > 0 {
+                writeln!(f, "  {fu:<15} {n:>8}")?;
+            }
+        }
+        writeln!(
+            f,
+            "  {:<15} {:>8} ({} taken)",
+            "branches", self.branches, self.taken_branches
+        )
+    }
+}
+
+/// A complete dynamic trace of a program run, with the final golden state.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    mix: InstMix,
+    final_state: ArchState,
+    final_memory: Memory,
+}
+
+impl Trace {
+    /// Runs `program` on the golden interpreter, recording every dynamic
+    /// instruction, up to `limit` instructions.
+    ///
+    /// # Errors
+    /// Propagates interpreter errors ([`ExecError`]).
+    pub fn capture(program: &Program, mem: Memory, limit: u64) -> Result<Self, ExecError> {
+        let mut ex = Executor::new(mem);
+        let mut events = Vec::new();
+        let mut mix = InstMix::default();
+        loop {
+            if ex.executed() >= limit {
+                return Err(ExecError::InstLimit { limit });
+            }
+            match ex.step(program)? {
+                StepOutcome::Executed(ev) => {
+                    mix.record(&ev);
+                    events.push(ev);
+                }
+                StepOutcome::Halted => break,
+            }
+        }
+        Ok(Trace {
+            events,
+            mix,
+            final_state: ex.state().clone(),
+            final_memory: ex.memory().clone(),
+        })
+    }
+
+    /// The dynamic instruction events, in program order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of dynamic instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no instructions executed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Instruction-mix statistics.
+    #[must_use]
+    pub fn mix(&self) -> &InstMix {
+        &self.mix
+    }
+
+    /// Final architectural state.
+    #[must_use]
+    pub fn final_state(&self) -> &ArchState {
+        &self.final_state
+    }
+
+    /// Final memory contents.
+    #[must_use]
+    pub fn final_memory(&self) -> &Memory {
+        &self.final_memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruu_isa::{Asm, Reg};
+
+    #[test]
+    fn capture_records_mix_and_final_state() {
+        let mut a = Asm::new("t");
+        let top = a.new_label();
+        a.a_imm(Reg::a(0), 3);
+        a.a_imm(Reg::a(2), 100);
+        a.bind(top);
+        a.ld_s(Reg::s(1), Reg::a(2), 0);
+        a.f_add(Reg::s(2), Reg::s(2), Reg::s(1));
+        a.st_s(Reg::s(2), Reg::a(2), 1);
+        a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+        a.br_an(top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let t = Trace::capture(&p, Memory::new(1 << 10), 10_000).unwrap();
+        assert_eq!(t.len(), 2 + 3 * 5);
+        assert_eq!(t.mix().loads, 3);
+        assert_eq!(t.mix().stores, 3);
+        assert_eq!(t.mix().branches, 3);
+        assert_eq!(t.mix().taken_branches, 2);
+        assert_eq!(t.mix().fu_count(FuClass::FloatAdd), 3);
+        assert_eq!(t.final_state().reg(Reg::a(0)), 0);
+    }
+
+    #[test]
+    fn events_are_indexed_sequentially() {
+        let mut a = Asm::new("t");
+        a.nop();
+        a.nop();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let t = Trace::capture(&p, Memory::new(8), 100).unwrap();
+        let idx: Vec<u64> = t.events().iter().map(|e| e.index).collect();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn display_mix_nonempty() {
+        let mut a = Asm::new("t");
+        a.a_imm(Reg::a(1), 1);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let t = Trace::capture(&p, Memory::new(8), 100).unwrap();
+        assert!(t.mix().to_string().contains("total"));
+    }
+}

@@ -1,0 +1,542 @@
+//! A small typed assembler with labels and forward references.
+//!
+//! [`Asm`] exposes one method per opcode; each method validates the operand
+//! register files (e.g. `a_add` insists on A registers) so that every
+//! assembled [`Program`] satisfies the [`Inst`] invariants. Labels are
+//! created with [`Asm::new_label`], placed with [`Asm::bind`], and resolved
+//! at [`Asm::assemble`] time.
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::op::Opcode;
+use crate::program::Program;
+use crate::reg::{Reg, RegFile};
+
+/// A branch-target label, created by [`Asm::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors reported by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label used as a branch target was never bound with [`Asm::bind`].
+    UnboundLabel {
+        /// The offending label's internal id.
+        label: usize,
+        /// Program counter of the branch that references it.
+        pc: usize,
+    },
+    /// A label was bound twice.
+    ReboundLabel {
+        /// The offending label's internal id.
+        label: usize,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label, pc } => {
+                write!(f, "label {label} used by branch at pc {pc} was never bound")
+            }
+            AsmError::ReboundLabel { label } => write!(f, "label {label} bound twice"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Typed program assembler.
+///
+/// # Example
+///
+/// ```
+/// use ruu_isa::{Asm, Reg};
+///
+/// let mut a = Asm::new("copy8");
+/// let top = a.new_label();
+/// a.a_imm(Reg::a(1), 0);   // src index
+/// a.a_imm(Reg::a(0), 8);   // trip count
+/// a.bind(top);
+/// a.ld_s(Reg::s(1), Reg::a(1), 100);
+/// a.st_s(Reg::s(1), Reg::a(1), 200);
+/// a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+/// a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+/// a.br_an(top);
+/// a.halt();
+/// let p = a.assemble().unwrap();
+/// assert_eq!(p.name(), "copy8");
+/// ```
+#[derive(Debug)]
+pub struct Asm {
+    name: String,
+    insts: Vec<Inst>,
+    /// label id -> bound pc
+    bound: Vec<Option<u32>>,
+    /// (pc of branch, label id) fixups
+    fixups: Vec<(usize, usize)>,
+}
+
+impl Asm {
+    /// Creates an empty assembler for a program called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Asm {
+            name: name.into(),
+            insts: Vec::new(),
+            bound: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Current program counter (index of the next instruction).
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Binds `label` to the current program counter.
+    ///
+    /// # Panics
+    /// Panics if the label was already bound (programming error in the
+    /// kernel being assembled).
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.bound[label.0].is_none(),
+            "label {} bound twice",
+            label.0
+        );
+        self.bound[label.0] = Some(self.here());
+    }
+
+    fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn push_branch(&mut self, opcode: Opcode, cond: Option<Reg>, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label.0));
+        // Target 0 is a placeholder patched in `assemble`.
+        self.push(Inst::new(opcode, None, cond, None, 0, Some(0)))
+    }
+
+    fn check(file: RegFile, r: Reg, what: &str) {
+        assert!(
+            r.file() == file,
+            "{what} operand must be an {file} register, got {r}"
+        );
+    }
+
+    // ----- address (A) operations ------------------------------------
+
+    /// `Ai = Aj + Ak`
+    pub fn a_add(&mut self, d: Reg, j: Reg, k: Reg) -> &mut Self {
+        Self::check(RegFile::A, d, "dst");
+        Self::check(RegFile::A, j, "src1");
+        Self::check(RegFile::A, k, "src2");
+        self.push(Inst::new(Opcode::AAdd, Some(d), Some(j), Some(k), 0, None))
+    }
+
+    /// `Ai = Aj - Ak`
+    pub fn a_sub(&mut self, d: Reg, j: Reg, k: Reg) -> &mut Self {
+        Self::check(RegFile::A, d, "dst");
+        Self::check(RegFile::A, j, "src1");
+        Self::check(RegFile::A, k, "src2");
+        self.push(Inst::new(Opcode::ASub, Some(d), Some(j), Some(k), 0, None))
+    }
+
+    /// `Ai = Aj + imm`
+    pub fn a_add_imm(&mut self, d: Reg, j: Reg, imm: i64) -> &mut Self {
+        Self::check(RegFile::A, d, "dst");
+        Self::check(RegFile::A, j, "src1");
+        self.push(Inst::new(Opcode::AAddImm, Some(d), Some(j), None, imm, None))
+    }
+
+    /// `Ai = Aj - imm`
+    pub fn a_sub_imm(&mut self, d: Reg, j: Reg, imm: i64) -> &mut Self {
+        Self::check(RegFile::A, d, "dst");
+        Self::check(RegFile::A, j, "src1");
+        self.push(Inst::new(Opcode::ASubImm, Some(d), Some(j), None, imm, None))
+    }
+
+    /// `Ai = Aj * Ak` (address multiply)
+    pub fn a_mul(&mut self, d: Reg, j: Reg, k: Reg) -> &mut Self {
+        Self::check(RegFile::A, d, "dst");
+        Self::check(RegFile::A, j, "src1");
+        Self::check(RegFile::A, k, "src2");
+        self.push(Inst::new(Opcode::AMul, Some(d), Some(j), Some(k), 0, None))
+    }
+
+    /// `Ai = imm`
+    pub fn a_imm(&mut self, d: Reg, imm: i64) -> &mut Self {
+        Self::check(RegFile::A, d, "dst");
+        self.push(Inst::new(Opcode::AImm, Some(d), None, None, imm, None))
+    }
+
+    // ----- scalar (S) integer/logical operations ---------------------
+
+    /// `Si = Sj + Sk` (integer)
+    pub fn s_add(&mut self, d: Reg, j: Reg, k: Reg) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        Self::check(RegFile::S, k, "src2");
+        self.push(Inst::new(Opcode::SAdd, Some(d), Some(j), Some(k), 0, None))
+    }
+
+    /// `Si = Sj - Sk` (integer)
+    pub fn s_sub(&mut self, d: Reg, j: Reg, k: Reg) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        Self::check(RegFile::S, k, "src2");
+        self.push(Inst::new(Opcode::SSub, Some(d), Some(j), Some(k), 0, None))
+    }
+
+    /// `Si = imm`
+    pub fn s_imm(&mut self, d: Reg, imm: i64) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        self.push(Inst::new(Opcode::SImm, Some(d), None, None, imm, None))
+    }
+
+    /// `Si = Sj & Sk`
+    pub fn s_and(&mut self, d: Reg, j: Reg, k: Reg) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        Self::check(RegFile::S, k, "src2");
+        self.push(Inst::new(Opcode::SAnd, Some(d), Some(j), Some(k), 0, None))
+    }
+
+    /// `Si = Sj | Sk`
+    pub fn s_or(&mut self, d: Reg, j: Reg, k: Reg) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        Self::check(RegFile::S, k, "src2");
+        self.push(Inst::new(Opcode::SOr, Some(d), Some(j), Some(k), 0, None))
+    }
+
+    /// `Si = Sj ^ Sk`
+    pub fn s_xor(&mut self, d: Reg, j: Reg, k: Reg) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        Self::check(RegFile::S, k, "src2");
+        self.push(Inst::new(Opcode::SXor, Some(d), Some(j), Some(k), 0, None))
+    }
+
+    /// `Si = Sj << imm`
+    pub fn s_shl(&mut self, d: Reg, j: Reg, imm: i64) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        self.push(Inst::new(Opcode::SShl, Some(d), Some(j), None, imm, None))
+    }
+
+    /// `Si = Sj >> imm` (logical)
+    pub fn s_shr(&mut self, d: Reg, j: Reg, imm: i64) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        self.push(Inst::new(Opcode::SShr, Some(d), Some(j), None, imm, None))
+    }
+
+    /// `Ai = popcount(Sj)`
+    pub fn s_pop(&mut self, d: Reg, j: Reg) -> &mut Self {
+        Self::check(RegFile::A, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        self.push(Inst::new(Opcode::SPop, Some(d), Some(j), None, 0, None))
+    }
+
+    /// `Ai = leading_zeros(Sj)`
+    pub fn s_lz(&mut self, d: Reg, j: Reg) -> &mut Self {
+        Self::check(RegFile::A, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        self.push(Inst::new(Opcode::SLz, Some(d), Some(j), None, 0, None))
+    }
+
+    // ----- floating point ---------------------------------------------
+
+    /// `Si = Sj +f Sk`
+    pub fn f_add(&mut self, d: Reg, j: Reg, k: Reg) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        Self::check(RegFile::S, k, "src2");
+        self.push(Inst::new(Opcode::FAdd, Some(d), Some(j), Some(k), 0, None))
+    }
+
+    /// `Si = Sj -f Sk`
+    pub fn f_sub(&mut self, d: Reg, j: Reg, k: Reg) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        Self::check(RegFile::S, k, "src2");
+        self.push(Inst::new(Opcode::FSub, Some(d), Some(j), Some(k), 0, None))
+    }
+
+    /// `Si = Sj *f Sk`
+    pub fn f_mul(&mut self, d: Reg, j: Reg, k: Reg) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        Self::check(RegFile::S, k, "src2");
+        self.push(Inst::new(Opcode::FMul, Some(d), Some(j), Some(k), 0, None))
+    }
+
+    /// `Si = 1/Sj` (reciprocal approximation)
+    pub fn f_recip(&mut self, d: Reg, j: Reg) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::S, j, "src1");
+        self.push(Inst::new(Opcode::FRecip, Some(d), Some(j), None, 0, None))
+    }
+
+    // ----- register transfers -----------------------------------------
+
+    /// `Bjk = Ai`
+    pub fn a_to_b(&mut self, d: Reg, src: Reg) -> &mut Self {
+        Self::check(RegFile::B, d, "dst");
+        Self::check(RegFile::A, src, "src1");
+        self.push(Inst::new(Opcode::AtoB, Some(d), Some(src), None, 0, None))
+    }
+
+    /// `Ai = Bjk`
+    pub fn b_to_a(&mut self, d: Reg, src: Reg) -> &mut Self {
+        Self::check(RegFile::A, d, "dst");
+        Self::check(RegFile::B, src, "src1");
+        self.push(Inst::new(Opcode::BtoA, Some(d), Some(src), None, 0, None))
+    }
+
+    /// `Tjk = Si`
+    pub fn s_to_t(&mut self, d: Reg, src: Reg) -> &mut Self {
+        Self::check(RegFile::T, d, "dst");
+        Self::check(RegFile::S, src, "src1");
+        self.push(Inst::new(Opcode::StoT, Some(d), Some(src), None, 0, None))
+    }
+
+    /// `Si = Tjk`
+    pub fn t_to_s(&mut self, d: Reg, src: Reg) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::T, src, "src1");
+        self.push(Inst::new(Opcode::TtoS, Some(d), Some(src), None, 0, None))
+    }
+
+    /// `Si = Ai`
+    pub fn a_to_s(&mut self, d: Reg, src: Reg) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::A, src, "src1");
+        self.push(Inst::new(Opcode::AtoS, Some(d), Some(src), None, 0, None))
+    }
+
+    /// `Ai = Sj`
+    pub fn s_to_a(&mut self, d: Reg, src: Reg) -> &mut Self {
+        Self::check(RegFile::A, d, "dst");
+        Self::check(RegFile::S, src, "src1");
+        self.push(Inst::new(Opcode::StoA, Some(d), Some(src), None, 0, None))
+    }
+
+    // ----- memory -------------------------------------------------------
+
+    /// `Ai = mem[Ah + disp]`
+    pub fn ld_a(&mut self, d: Reg, base: Reg, disp: i64) -> &mut Self {
+        Self::check(RegFile::A, d, "dst");
+        Self::check(RegFile::A, base, "base");
+        self.push(Inst::new(Opcode::LoadA, Some(d), Some(base), None, disp, None))
+    }
+
+    /// `Si = mem[Ah + disp]`
+    pub fn ld_s(&mut self, d: Reg, base: Reg, disp: i64) -> &mut Self {
+        Self::check(RegFile::S, d, "dst");
+        Self::check(RegFile::A, base, "base");
+        self.push(Inst::new(Opcode::LoadS, Some(d), Some(base), None, disp, None))
+    }
+
+    /// `mem[Ah + disp] = Ai`
+    pub fn st_a(&mut self, src: Reg, base: Reg, disp: i64) -> &mut Self {
+        Self::check(RegFile::A, src, "data");
+        Self::check(RegFile::A, base, "base");
+        self.push(Inst::new(
+            Opcode::StoreA,
+            None,
+            Some(base),
+            Some(src),
+            disp,
+            None,
+        ))
+    }
+
+    /// `mem[Ah + disp] = Si`
+    pub fn st_s(&mut self, src: Reg, base: Reg, disp: i64) -> &mut Self {
+        Self::check(RegFile::S, src, "data");
+        Self::check(RegFile::A, base, "base");
+        self.push(Inst::new(
+            Opcode::StoreS,
+            None,
+            Some(base),
+            Some(src),
+            disp,
+            None,
+        ))
+    }
+
+    // ----- control flow ---------------------------------------------------
+
+    /// Unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Opcode::Jump, None, label)
+    }
+
+    /// Branch to `label` if `A0 == 0`.
+    pub fn br_az(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Opcode::BrAZ, Some(Reg::a(0)), label)
+    }
+
+    /// Branch to `label` if `A0 != 0`.
+    pub fn br_an(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Opcode::BrAN, Some(Reg::a(0)), label)
+    }
+
+    /// Branch to `label` if `A0 >= 0` (signed).
+    pub fn br_ap(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Opcode::BrAP, Some(Reg::a(0)), label)
+    }
+
+    /// Branch to `label` if `A0 < 0` (signed).
+    pub fn br_am(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Opcode::BrAM, Some(Reg::a(0)), label)
+    }
+
+    /// Branch to `label` if `S0 == 0`.
+    pub fn br_sz(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Opcode::BrSZ, Some(Reg::s(0)), label)
+    }
+
+    /// Branch to `label` if `S0 != 0`.
+    pub fn br_sn(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Opcode::BrSN, Some(Reg::s(0)), label)
+    }
+
+    /// Branch to `label` if `S0 >= 0` (signed).
+    pub fn br_sp(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Opcode::BrSP, Some(Reg::s(0)), label)
+    }
+
+    /// Branch to `label` if `S0 < 0` (signed).
+    pub fn br_sm(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Opcode::BrSM, Some(Reg::s(0)), label)
+    }
+
+    /// No operation.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::new(Opcode::Nop, None, None, None, 0, None))
+    }
+
+    /// Terminate the program.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::new(Opcode::Halt, None, None, None, 0, None))
+    }
+
+    /// Resolves labels and produces the [`Program`].
+    ///
+    /// # Errors
+    /// Returns [`AsmError::UnboundLabel`] if a branch references a label
+    /// that was never [`Asm::bind`]-ed.
+    pub fn assemble(mut self) -> Result<Program, AsmError> {
+        for &(pc, label) in &self.fixups {
+            match self.bound[label] {
+                Some(target) => self.insts[pc].target = Some(target),
+                None => return Err(AsmError::UnboundLabel { label, pc }),
+            }
+        }
+        Ok(Program::from_parts(self.name, self.insts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new("t");
+        let fwd = a.new_label();
+        let back = a.new_label();
+        a.bind(back);
+        a.a_imm(Reg::a(0), 1);
+        a.br_az(fwd); // forward reference
+        a.br_an(back); // backward reference
+        a.bind(fwd);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p[1].target, Some(3));
+        assert_eq!(p[2].target, Some(0));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new("t");
+        let l = a.new_label();
+        a.jump(l);
+        let err = a.assemble().unwrap_err();
+        assert!(matches!(err, AsmError::UnboundLabel { pc: 0, .. }));
+        assert!(err.to_string().contains("never bound"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new("t");
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn conditional_branches_carry_condition_register() {
+        let mut a = Asm::new("t");
+        let l = a.new_label();
+        a.bind(l);
+        a.br_an(l);
+        a.br_sm(l);
+        let p = a.assemble().unwrap();
+        assert_eq!(p[0].src1, Some(Reg::a(0)));
+        assert_eq!(p[1].src1, Some(Reg::s(0)));
+    }
+
+    #[test]
+    fn jump_has_no_condition_source() {
+        let mut a = Asm::new("t");
+        let l = a.new_label();
+        a.bind(l);
+        a.jump(l);
+        let p = a.assemble().unwrap();
+        assert_eq!(p[0].src1, None);
+        assert_eq!(p[0].sources().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be an A register")]
+    fn operand_file_checked() {
+        let mut a = Asm::new("t");
+        a.a_add(Reg::a(1), Reg::s(1), Reg::a(2));
+    }
+
+    #[test]
+    fn store_operand_layout() {
+        let mut a = Asm::new("t");
+        a.st_s(Reg::s(3), Reg::a(2), 100);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p[0].src1, Some(Reg::a(2))); // base
+        assert_eq!(p[0].src2, Some(Reg::s(3))); // data
+        assert_eq!(p[0].dst, None);
+        assert_eq!(p[0].imm, 100);
+    }
+
+    #[test]
+    fn here_tracks_pc() {
+        let mut a = Asm::new("t");
+        assert_eq!(a.here(), 0);
+        a.nop();
+        a.nop();
+        assert_eq!(a.here(), 2);
+    }
+}

@@ -1,0 +1,451 @@
+//! Binary instruction encoding: 16-bit parcels, CRAY style.
+//!
+//! The paper's model architecture issues instructions "whether they are
+//! composed of 1 parcel (16 bits) or 2 parcels (32 bits)" in a single
+//! cycle (§2). This module gives the ISA that binary format:
+//!
+//! * register-only instructions occupy **one parcel**:
+//!   `[opcode:7][f1:3][f2:3][f3:3]` (B/T register numbers use the
+//!   combined 6-bit `f2:f3` field, like the CRAY `jk` designator);
+//! * instructions with an immediate, displacement or branch target occupy
+//!   **two parcels**: the 22-bit constant is split across the 6-bit
+//!   `f2:f3` field and the entire second parcel (the CRAY `jkm` field).
+//!
+//! Branch targets are encoded as instruction indices (the unit the rest
+//! of this crate uses for program counters), not parcel addresses.
+//!
+//! Every instruction the [`crate::Asm`] constructors can produce encodes
+//! and decodes losslessly as long as its constant fits in 22 signed bits;
+//! [`EncodeError::ImmOutOfRange`] reports the ones that do not.
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::op::Opcode;
+use crate::program::Program;
+use crate::reg::{Reg, RegFile};
+
+/// Maximum constant magnitude: signed 22-bit (`jkm`) field.
+pub const IMM_BITS: u32 = 22;
+const IMM_MAX: i64 = (1 << (IMM_BITS - 1)) - 1;
+const IMM_MIN: i64 = -(1 << (IMM_BITS - 1));
+
+/// Errors from [`encode_inst`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The immediate/displacement/target does not fit in 22 signed bits.
+    ImmOutOfRange {
+        /// The offending value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { value } => {
+                write!(f, "constant {value} does not fit in {IMM_BITS} signed bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors from [`decode_inst`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field names no instruction.
+    BadOpcode {
+        /// The raw 7-bit opcode field.
+        raw: u16,
+    },
+    /// A second parcel was needed but the input ended.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode { raw } => write!(f, "unknown opcode field {raw:#x}"),
+            DecodeError::Truncated => write!(f, "instruction truncated: second parcel missing"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// All opcodes in their binary numbering (index = opcode field value).
+const OPCODES: [Opcode; 41] = [
+    Opcode::AAdd,
+    Opcode::ASub,
+    Opcode::AAddImm,
+    Opcode::ASubImm,
+    Opcode::AMul,
+    Opcode::AImm,
+    Opcode::SAdd,
+    Opcode::SSub,
+    Opcode::SImm,
+    Opcode::SAnd,
+    Opcode::SOr,
+    Opcode::SXor,
+    Opcode::SShl,
+    Opcode::SShr,
+    Opcode::SPop,
+    Opcode::SLz,
+    Opcode::FAdd,
+    Opcode::FSub,
+    Opcode::FMul,
+    Opcode::FRecip,
+    Opcode::AtoB,
+    Opcode::BtoA,
+    Opcode::StoT,
+    Opcode::TtoS,
+    Opcode::AtoS,
+    Opcode::StoA,
+    Opcode::LoadA,
+    Opcode::LoadS,
+    Opcode::StoreA,
+    Opcode::StoreS,
+    Opcode::Jump,
+    Opcode::BrAZ,
+    Opcode::BrAN,
+    Opcode::BrAP,
+    Opcode::BrAM,
+    Opcode::BrSZ,
+    Opcode::BrSN,
+    Opcode::BrSP,
+    Opcode::BrSM,
+    Opcode::Nop,
+    Opcode::Halt,
+];
+
+fn opcode_number(op: Opcode) -> u16 {
+    OPCODES
+        .iter()
+        .position(|&o| o == op)
+        .expect("every opcode has a binary number") as u16
+}
+
+/// Number of 16-bit parcels `op` occupies (paper §2: 1 or 2).
+#[must_use]
+pub fn parcel_count(op: Opcode) -> usize {
+    use Opcode::*;
+    match op {
+        AAddImm | ASubImm | AImm | SImm | SShl | SShr | LoadA | LoadS | StoreA | StoreS
+        | Jump | BrAZ | BrAN | BrAP | BrAM | BrSZ | BrSN | BrSP | BrSM => 2,
+        _ => 1,
+    }
+}
+
+fn pack(op: Opcode, f1: u16, f2: u16, f3: u16) -> u16 {
+    debug_assert!(f1 < 8 && f2 < 8 && f3 < 8);
+    (opcode_number(op) << 9) | (f1 << 6) | (f2 << 3) | f3
+}
+
+fn pack_jk(op: Opcode, f1: u16, jk: u16) -> u16 {
+    debug_assert!(jk < 64);
+    (opcode_number(op) << 9) | (f1 << 6) | jk
+}
+
+fn reg3(r: Option<Reg>) -> u16 {
+    r.map_or(0, |r| u16::from(r.num() & 7))
+}
+
+fn check_imm(v: i64) -> Result<u32, EncodeError> {
+    if (IMM_MIN..=IMM_MAX).contains(&v) {
+        Ok((v as u32) & ((1 << IMM_BITS) - 1))
+    } else {
+        Err(EncodeError::ImmOutOfRange { value: v })
+    }
+}
+
+fn sign_extend_22(raw: u32) -> i64 {
+    ((raw as i64) << (64 - i64::from(IMM_BITS))) >> (64 - i64::from(IMM_BITS))
+}
+
+fn high6(imm: u32) -> u16 {
+    ((imm >> 16) & 0x3f) as u16
+}
+
+fn low16(imm: u32) -> u16 {
+    (imm & 0xffff) as u16
+}
+
+/// Encodes one instruction (full implementation).
+///
+/// # Errors
+/// [`EncodeError::ImmOutOfRange`] if a constant exceeds 22 signed bits.
+pub fn encode_inst(inst: &Inst) -> Result<Vec<u16>, EncodeError> {
+    use Opcode::*;
+    let op = inst.opcode;
+    Ok(match op {
+        AAdd | ASub | AMul | SAdd | SSub | SAnd | SOr | SXor | FAdd | FSub | FMul => {
+            vec![pack(op, reg3(inst.dst), reg3(inst.src1), reg3(inst.src2))]
+        }
+        FRecip | AtoS | StoA | SPop | SLz => {
+            vec![pack(op, reg3(inst.dst), reg3(inst.src1), 0)]
+        }
+        AtoB | StoT => {
+            let jk = u16::from(inst.dst.expect("transfer writes a register").num());
+            vec![pack_jk(op, reg3(inst.src1), jk)]
+        }
+        BtoA | TtoS => {
+            let jk = u16::from(inst.src1.expect("transfer reads a register").num());
+            vec![pack_jk(op, reg3(inst.dst), jk)]
+        }
+        // Two-parcel forms. Pure immediates get the full 22-bit jkm field
+        // ([op][i][imm hi 6] + [imm lo 16]); reg+imm forms need both a
+        // destination and a source designator in parcel one, leaving a
+        // 16-bit immediate ([op][dst][src][0] + [imm]).
+        AImm | SImm => {
+            let imm = check_imm(inst.imm)?;
+            vec![pack_jk(op, reg3(inst.dst), high6(imm)), low16(imm)]
+        }
+        AAddImm | ASubImm | SShl | SShr | LoadA | LoadS => {
+            if !(-(1 << 15)..(1 << 15)).contains(&inst.imm) {
+                return Err(EncodeError::ImmOutOfRange { value: inst.imm });
+            }
+            vec![
+                pack(op, reg3(inst.dst), reg3(inst.src1), 0),
+                low16((inst.imm as u32) & 0xffff),
+            ]
+        }
+        StoreA | StoreS => {
+            if !(-(1 << 15)..(1 << 15)).contains(&inst.imm) {
+                return Err(EncodeError::ImmOutOfRange { value: inst.imm });
+            }
+            // f1 = base (src1), f2 = data (src2)
+            vec![
+                pack(op, reg3(inst.src1), reg3(inst.src2), 0),
+                low16((inst.imm as u32) & 0xffff),
+            ]
+        }
+        Jump | BrAZ | BrAN | BrAP | BrAM | BrSZ | BrSN | BrSP | BrSM => {
+            let t = i64::from(inst.target.expect("branch has a target"));
+            let imm = check_imm(t)?;
+            vec![pack_jk(op, 0, high6(imm)), low16(imm)]
+        }
+        Nop | Halt => vec![pack(op, 0, 0, 0)],
+    })
+}
+
+/// Decodes one instruction from `parcels`, returning it and the number of
+/// parcels consumed.
+///
+/// # Errors
+/// [`DecodeError::BadOpcode`] / [`DecodeError::Truncated`].
+pub fn decode_inst(parcels: &[u16]) -> Result<(Inst, usize), DecodeError> {
+    use Opcode::*;
+    let p0 = *parcels.first().ok_or(DecodeError::Truncated)?;
+    let raw_op = p0 >> 9;
+    let op = *OPCODES
+        .get(raw_op as usize)
+        .ok_or(DecodeError::BadOpcode { raw: raw_op })?;
+    let f1 = (p0 >> 6) & 7;
+    let f2 = (p0 >> 3) & 7;
+    let f3 = p0 & 7;
+    let jk = p0 & 0x3f;
+
+    let need = parcel_count(op);
+    if parcels.len() < need {
+        return Err(DecodeError::Truncated);
+    }
+    let second = if need == 2 { parcels[1] } else { 0 };
+    let imm16 = second as i16 as i64;
+    let imm22 = sign_extend_22(((u32::from(jk)) << 16) | u32::from(second));
+
+    let a = |n: u16| Reg::a(n as u8);
+    let s = |n: u16| Reg::s(n as u8);
+
+    let inst = match op {
+        AAdd | ASub | AMul => Inst::new(op, Some(a(f1)), Some(a(f2)), Some(a(f3)), 0, None),
+        SAdd | SSub | SAnd | SOr | SXor | FAdd | FSub | FMul => {
+            Inst::new(op, Some(s(f1)), Some(s(f2)), Some(s(f3)), 0, None)
+        }
+        FRecip => Inst::new(op, Some(s(f1)), Some(s(f2)), None, 0, None),
+        AtoS => Inst::new(op, Some(s(f1)), Some(a(f2)), None, 0, None),
+        StoA => Inst::new(op, Some(a(f1)), Some(s(f2)), None, 0, None),
+        SPop | SLz => Inst::new(op, Some(a(f1)), Some(s(f2)), None, 0, None),
+        AtoB => Inst::new(op, Some(Reg::new(RegFile::B, jk as u8)), Some(a(f1)), None, 0, None),
+        StoT => Inst::new(op, Some(Reg::new(RegFile::T, jk as u8)), Some(s(f1)), None, 0, None),
+        BtoA => Inst::new(op, Some(a(f1)), Some(Reg::new(RegFile::B, jk as u8)), None, 0, None),
+        TtoS => Inst::new(op, Some(s(f1)), Some(Reg::new(RegFile::T, jk as u8)), None, 0, None),
+        AAddImm | ASubImm => Inst::new(op, Some(a(f1)), Some(a(f2)), None, imm16, None),
+        SShl | SShr => Inst::new(op, Some(s(f1)), Some(s(f2)), None, imm16, None),
+        AImm => Inst::new(op, Some(a(f1)), None, None, imm22, None),
+        SImm => Inst::new(op, Some(s(f1)), None, None, imm22, None),
+        LoadA => Inst::new(op, Some(a(f1)), Some(a(f2)), None, imm16, None),
+        LoadS => Inst::new(op, Some(s(f1)), Some(a(f2)), None, imm16, None),
+        StoreA => Inst::new(op, None, Some(a(f1)), Some(a(f2)), imm16, None),
+        StoreS => Inst::new(op, None, Some(a(f1)), Some(s(f2)), imm16, None),
+        Jump => Inst::new(op, None, None, None, 0, Some(imm22 as u32)),
+        BrAZ | BrAN | BrAP | BrAM => {
+            Inst::new(op, None, Some(Reg::a(0)), None, 0, Some(imm22 as u32))
+        }
+        BrSZ | BrSN | BrSP | BrSM => {
+            Inst::new(op, None, Some(Reg::s(0)), None, 0, Some(imm22 as u32))
+        }
+        Nop | Halt => Inst::new(op, None, None, None, 0, None),
+    };
+    Ok((inst, need))
+}
+
+/// Encodes a whole program into a parcel stream.
+///
+/// # Errors
+/// Propagates [`EncodeError`] from the first offending instruction.
+pub fn encode_program(program: &Program) -> Result<Vec<u16>, EncodeError> {
+    let mut out = Vec::with_capacity(program.len() * 2);
+    for inst in program {
+        out.extend(encode_inst(inst)?);
+    }
+    Ok(out)
+}
+
+/// Decodes a parcel stream produced by [`encode_program`].
+///
+/// # Errors
+/// Propagates [`DecodeError`].
+pub fn decode_program(name: &str, mut parcels: &[u16]) -> Result<Program, DecodeError> {
+    let mut insts = Vec::new();
+    while !parcels.is_empty() {
+        let (inst, used) = decode_inst(parcels)?;
+        insts.push(inst);
+        parcels = &parcels[used..];
+    }
+    Ok(Program::from_parts(name, insts))
+}
+
+/// Total parcels (16-bit units) a program occupies — its instruction-
+/// buffer footprint.
+#[must_use]
+pub fn program_parcels(program: &Program) -> usize {
+    program.iter().map(|i| parcel_count(i.opcode)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn sample() -> Program {
+        let mut a = Asm::new("t");
+        let top = a.new_label();
+        a.a_imm(Reg::a(1), 100);
+        a.s_imm(Reg::s(1), -5);
+        a.a_imm(Reg::a(0), 3);
+        a.bind(top);
+        a.ld_s(Reg::s(2), Reg::a(1), -8);
+        a.f_mul(Reg::s(3), Reg::s(1), Reg::s(2));
+        a.st_s(Reg::s(3), Reg::a(1), 0x7f);
+        a.a_to_b(Reg::b(42), Reg::a(1));
+        a.b_to_a(Reg::a(2), Reg::b(42));
+        a.s_to_t(Reg::t(63), Reg::s(3));
+        a.t_to_s(Reg::s(4), Reg::t(63));
+        a.s_shl(Reg::s(4), Reg::s(4), 7);
+        a.s_pop(Reg::a(3), Reg::s(4));
+        a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+        a.br_an(top);
+        a.jump(top);
+        a.nop();
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_sample_program() {
+        let p = sample();
+        let parcels = encode_program(&p).unwrap();
+        let q = decode_program("t", &parcels).unwrap();
+        assert_eq!(p.len(), q.len());
+        for (x, y) in p.iter().zip(q.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn parcel_counts_match_the_paper_model() {
+        // register-register: 1 parcel; immediates & branches: 2.
+        assert_eq!(parcel_count(Opcode::FAdd), 1);
+        assert_eq!(parcel_count(Opcode::AtoB), 1);
+        assert_eq!(parcel_count(Opcode::LoadS), 2);
+        assert_eq!(parcel_count(Opcode::BrAN), 2);
+        assert_eq!(parcel_count(Opcode::Halt), 1);
+    }
+
+    #[test]
+    fn program_footprint() {
+        let p = sample();
+        let expected: usize = p.iter().map(|i| parcel_count(i.opcode)).sum();
+        assert_eq!(program_parcels(&p), expected);
+        assert_eq!(encode_program(&p).unwrap().len(), expected);
+    }
+
+    #[test]
+    fn immediate_range_enforced() {
+        let too_big = Inst::new(Opcode::SImm, Some(Reg::s(1)), None, None, 1 << 30, None);
+        assert!(matches!(
+            encode_inst(&too_big),
+            Err(EncodeError::ImmOutOfRange { .. })
+        ));
+        let fits = Inst::new(Opcode::SImm, Some(Reg::s(1)), None, None, (1 << 21) - 1, None);
+        let parcels = encode_inst(&fits).unwrap();
+        let (back, _) = decode_inst(&parcels).unwrap();
+        assert_eq!(back.imm, (1 << 21) - 1);
+    }
+
+    #[test]
+    fn disp_range_enforced_for_loads() {
+        let too_big = Inst::new(
+            Opcode::LoadS,
+            Some(Reg::s(1)),
+            Some(Reg::a(1)),
+            None,
+            1 << 20,
+            None,
+        );
+        assert!(encode_inst(&too_big).is_err());
+    }
+
+    #[test]
+    fn negative_immediates_roundtrip() {
+        for v in [-1i64, -32768, 32767, -(1 << 21)] {
+            let i = Inst::new(Opcode::AImm, Some(Reg::a(3)), None, None, v, None);
+            let parcels = encode_inst(&i).unwrap();
+            let (back, used) = decode_inst(&parcels).unwrap();
+            assert_eq!(used, 2);
+            assert_eq!(back.imm, v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let i = Inst::new(Opcode::AImm, Some(Reg::a(3)), None, None, 7, None);
+        let parcels = encode_inst(&i).unwrap();
+        assert_eq!(
+            decode_inst(&parcels[..1]).unwrap_err(),
+            DecodeError::Truncated
+        );
+        assert_eq!(decode_inst(&[]).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn bad_opcode_is_an_error() {
+        let raw = 60u16 << 9; // beyond the table
+        assert!(matches!(
+            decode_inst(&[raw]),
+            Err(DecodeError::BadOpcode { .. })
+        ));
+    }
+
+    #[test]
+    fn all_livermore_kernels_encode() {
+        // (imported here to keep dependency direction; the workloads
+        // crate depends on isa, so we re-assemble a few representative
+        // shapes instead of importing it. The full-suite check lives in
+        // the workloads crate's integration tests.)
+        let p = sample();
+        assert!(encode_program(&p).is_ok());
+    }
+}

@@ -1,0 +1,552 @@
+//! Textual assembly: a parser and emitter for the mnemonic syntax used
+//! throughout the documentation.
+//!
+//! ```text
+//! ; dot product                (comments run to end of line)
+//! .name dot                    (optional program name)
+//!     s.imm  S1, 0
+//!     a.imm  A1, 0
+//!     a.imm  A0, 64
+//! top:
+//!     a.subi A0, A0, 1
+//!     ld.s   S2, A1, 0x100     ; dst, base, displacement
+//!     ld.s   S3, A1, 0x200
+//!     f.mul  S2, S2, S3
+//!     f.add  S1, S1, S2
+//!     a.addi A1, A1, 1
+//!     br.an  top
+//!     halt
+//! ```
+//!
+//! Operand order follows the [`crate::Asm`] constructors (stores are
+//! `st.s data, base, disp`); conditional branches name only their target
+//! (the condition register is `A0`/`S0` by the machine's convention).
+//! [`emit`] produces this syntax from any [`Program`], and
+//! `parse(emit(p))` reproduces `p` exactly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::asm::{Asm, Label};
+use crate::inst::Inst;
+use crate::op::Opcode;
+use crate::program::Program;
+use crate::reg::{Reg, RegFile};
+
+/// A parse failure, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let (file, num) = tok.split_at(1);
+    let file = match file {
+        "A" | "a" => RegFile::A,
+        "S" | "s" => RegFile::S,
+        "B" | "b" => RegFile::B,
+        "T" | "t" => RegFile::T,
+        _ => return Err(err(line, format!("bad register {tok}"))),
+    };
+    let n: u8 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad register number in {tok}")))?;
+    if n >= file.len() {
+        return Err(err(line, format!("register {tok} out of range")));
+    }
+    Ok(Reg::new(file, n))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(line, format!("bad immediate {tok}")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parses a program in the textual syntax.
+///
+/// # Errors
+/// Returns the first [`ParseError`] encountered (unknown mnemonic, bad
+/// operand, undefined label, ...).
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let mut asm = Asm::new("asm");
+    let mut name: Option<String> = None;
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut bound: Vec<String> = Vec::new();
+
+    // The assembler wants a fresh label id per name; create lazily.
+    fn label_for(
+        asm: &mut Asm,
+        labels: &mut HashMap<String, Label>,
+        name: &str,
+    ) -> Label {
+        if let Some(&l) = labels.get(name) {
+            l
+        } else {
+            let l = asm.new_label();
+            labels.insert(name.to_string(), l);
+            l
+        }
+    }
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".name") {
+            name = Some(rest.trim().to_string());
+            continue;
+        }
+        if let Some(label) = text.strip_suffix(':') {
+            let label = label.trim();
+            if bound.iter().any(|b| b == label) {
+                return Err(err(line, format!("label {label} defined twice")));
+            }
+            bound.push(label.to_string());
+            let l = label_for(&mut asm, &mut labels, label);
+            asm.bind(l);
+            continue;
+        }
+
+        let mut parts = text.splitn(2, char::is_whitespace);
+        let mnemonic = parts.next().expect("nonempty line has a first token");
+        let rest = parts.next().unwrap_or("").trim();
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+
+        let want = |n: usize| -> Result<(), ParseError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("{mnemonic} expects {n} operand(s), got {}", ops.len()),
+                ))
+            }
+        };
+        let reg_of = |i: usize, file: RegFile| -> Result<Reg, ParseError> {
+            let r = parse_reg(ops[i], line)?;
+            if r.file() == file {
+                Ok(r)
+            } else {
+                Err(err(
+                    line,
+                    format!("operand {} of {mnemonic} must be an {file} register, got {r}", i + 1),
+                ))
+            }
+        };
+        let areg = |i: usize| reg_of(i, RegFile::A);
+        let sreg = |i: usize| reg_of(i, RegFile::S);
+        let breg = |i: usize| reg_of(i, RegFile::B);
+        let treg = |i: usize| reg_of(i, RegFile::T);
+        let imm = |i: usize| parse_imm(ops[i], line);
+
+        match mnemonic {
+            "a.add" => {
+                want(3)?;
+                asm.a_add(areg(0)?, areg(1)?, areg(2)?);
+            }
+            "a.sub" => {
+                want(3)?;
+                asm.a_sub(areg(0)?, areg(1)?, areg(2)?);
+            }
+            "a.addi" => {
+                want(3)?;
+                asm.a_add_imm(areg(0)?, areg(1)?, imm(2)?);
+            }
+            "a.subi" => {
+                want(3)?;
+                asm.a_sub_imm(areg(0)?, areg(1)?, imm(2)?);
+            }
+            "a.mul" => {
+                want(3)?;
+                asm.a_mul(areg(0)?, areg(1)?, areg(2)?);
+            }
+            "a.imm" => {
+                want(2)?;
+                asm.a_imm(areg(0)?, imm(1)?);
+            }
+            "s.add" => {
+                want(3)?;
+                asm.s_add(sreg(0)?, sreg(1)?, sreg(2)?);
+            }
+            "s.sub" => {
+                want(3)?;
+                asm.s_sub(sreg(0)?, sreg(1)?, sreg(2)?);
+            }
+            "s.imm" => {
+                want(2)?;
+                asm.s_imm(sreg(0)?, imm(1)?);
+            }
+            "s.and" => {
+                want(3)?;
+                asm.s_and(sreg(0)?, sreg(1)?, sreg(2)?);
+            }
+            "s.or" => {
+                want(3)?;
+                asm.s_or(sreg(0)?, sreg(1)?, sreg(2)?);
+            }
+            "s.xor" => {
+                want(3)?;
+                asm.s_xor(sreg(0)?, sreg(1)?, sreg(2)?);
+            }
+            "s.shl" => {
+                want(3)?;
+                asm.s_shl(sreg(0)?, sreg(1)?, imm(2)?);
+            }
+            "s.shr" => {
+                want(3)?;
+                asm.s_shr(sreg(0)?, sreg(1)?, imm(2)?);
+            }
+            "s.pop" => {
+                want(2)?;
+                asm.s_pop(areg(0)?, sreg(1)?);
+            }
+            "s.lz" => {
+                want(2)?;
+                asm.s_lz(areg(0)?, sreg(1)?);
+            }
+            "f.add" => {
+                want(3)?;
+                asm.f_add(sreg(0)?, sreg(1)?, sreg(2)?);
+            }
+            "f.sub" => {
+                want(3)?;
+                asm.f_sub(sreg(0)?, sreg(1)?, sreg(2)?);
+            }
+            "f.mul" => {
+                want(3)?;
+                asm.f_mul(sreg(0)?, sreg(1)?, sreg(2)?);
+            }
+            "f.recip" => {
+                want(2)?;
+                asm.f_recip(sreg(0)?, sreg(1)?);
+            }
+            "mov.ab" => {
+                want(2)?;
+                asm.a_to_b(breg(0)?, areg(1)?);
+            }
+            "mov.ba" => {
+                want(2)?;
+                asm.b_to_a(areg(0)?, breg(1)?);
+            }
+            "mov.st" => {
+                want(2)?;
+                asm.s_to_t(treg(0)?, sreg(1)?);
+            }
+            "mov.ts" => {
+                want(2)?;
+                asm.t_to_s(sreg(0)?, treg(1)?);
+            }
+            "mov.as" => {
+                want(2)?;
+                asm.a_to_s(sreg(0)?, areg(1)?);
+            }
+            "mov.sa" => {
+                want(2)?;
+                asm.s_to_a(areg(0)?, sreg(1)?);
+            }
+            "ld.a" => {
+                want(3)?;
+                asm.ld_a(areg(0)?, areg(1)?, imm(2)?);
+            }
+            "ld.s" => {
+                want(3)?;
+                asm.ld_s(sreg(0)?, areg(1)?, imm(2)?);
+            }
+            "st.a" => {
+                want(3)?;
+                asm.st_a(areg(0)?, areg(1)?, imm(2)?);
+            }
+            "st.s" => {
+                want(3)?;
+                asm.st_s(sreg(0)?, areg(1)?, imm(2)?);
+            }
+            "j" | "br.az" | "br.an" | "br.ap" | "br.am" | "br.sz" | "br.sn" | "br.sp"
+            | "br.sm" => {
+                want(1)?;
+                let l = label_for(&mut asm, &mut labels, ops[0]);
+                match mnemonic {
+                    "j" => asm.jump(l),
+                    "br.az" => asm.br_az(l),
+                    "br.an" => asm.br_an(l),
+                    "br.ap" => asm.br_ap(l),
+                    "br.am" => asm.br_am(l),
+                    "br.sz" => asm.br_sz(l),
+                    "br.sn" => asm.br_sn(l),
+                    "br.sp" => asm.br_sp(l),
+                    "br.sm" => asm.br_sm(l),
+                    _ => unreachable!(),
+                };
+            }
+            "nop" => {
+                want(0)?;
+                asm.nop();
+            }
+            "halt" => {
+                want(0)?;
+                asm.halt();
+            }
+            other => return Err(err(line, format!("unknown mnemonic {other}"))),
+        }
+    }
+
+    // Check every referenced label was bound before assembling, to report
+    // the name rather than an internal id.
+    for (label_name, _) in labels.iter() {
+        if !bound.iter().any(|b| b == label_name) {
+            return Err(err(0, format!("label {label_name} is never defined")));
+        }
+    }
+    let program = asm
+        .assemble()
+        .map_err(|e| err(0, format!("assembly failed: {e}")))?;
+    Ok(match name {
+        Some(n) => Program::from_parts(n, program.iter().copied().collect()),
+        None => program,
+    })
+}
+
+/// Emits a program in the textual syntax; `parse(&emit(p))` reproduces
+/// `p` exactly (the name is carried in a `.name` directive).
+#[must_use]
+pub fn emit(program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut targets: Vec<u32> = program
+        .iter()
+        .filter_map(|i| i.target)
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let label = |pc: u32| format!("L{pc}");
+
+    let mut out = String::new();
+    let _ = writeln!(out, ".name {}", program.name());
+    for (pc, inst) in program.iter().enumerate() {
+        if targets.binary_search(&(pc as u32)).is_ok() {
+            let _ = writeln!(out, "{}:", label(pc as u32));
+        }
+        let _ = writeln!(out, "    {}", inst_text(inst, &label));
+    }
+    out
+}
+
+fn inst_text(inst: &Inst, label: &dyn Fn(u32) -> String) -> String {
+    use Opcode::*;
+    let m = inst.opcode.mnemonic();
+    let d = |r: Option<Reg>| r.expect("operand present").to_string();
+    match inst.opcode {
+        AAdd | ASub | AMul | SAdd | SSub | SAnd | SOr | SXor | FAdd | FSub | FMul => format!(
+            "{m} {}, {}, {}",
+            d(inst.dst),
+            d(inst.src1),
+            d(inst.src2)
+        ),
+        AAddImm | ASubImm | SShl | SShr => {
+            format!("{m} {}, {}, {}", d(inst.dst), d(inst.src1), inst.imm)
+        }
+        AImm | SImm => format!("{m} {}, {}", d(inst.dst), inst.imm),
+        SPop | SLz | FRecip | AtoB | BtoA | StoT | TtoS | AtoS | StoA => {
+            format!("{m} {}, {}", d(inst.dst), d(inst.src1))
+        }
+        LoadA | LoadS => format!(
+            "{m} {}, {}, {}",
+            d(inst.dst),
+            d(inst.src1),
+            inst.imm
+        ),
+        StoreA | StoreS => format!(
+            "{m} {}, {}, {}",
+            d(inst.src2),
+            d(inst.src1),
+            inst.imm
+        ),
+        Jump | BrAZ | BrAN | BrAP | BrAM | BrSZ | BrSN | BrSP | BrSM => {
+            format!("{m} {}", label(inst.target.expect("branch has a target")))
+        }
+        Nop | Halt => m.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    const DOT: &str = r"
+; dot product over 8 elements
+.name dot8
+    s.imm  S1, 0
+    a.imm  A1, 0
+    a.imm  A0, 8
+top:
+    a.subi A0, A0, 1
+    ld.s   S2, A1, 0x100
+    ld.s   S3, A1, 0x200
+    f.mul  S2, S2, S3
+    f.add  S1, S1, S2
+    a.addi A1, A1, 1
+    br.an  top
+    halt
+";
+
+    #[test]
+    fn parses_a_program() {
+        let p = parse(DOT).unwrap();
+        assert_eq!(p.name(), "dot8");
+        assert_eq!(p.len(), 11);
+        assert_eq!(p[3].opcode, Opcode::ASubImm);
+        assert_eq!(p[9].target, Some(3));
+    }
+
+    #[test]
+    fn parse_executes_correctly() {
+        let p = parse(DOT).unwrap();
+        let mut mem = ruu_memless_stub();
+        for k in 0..8 {
+            mem.write_f64(0x100 + k, 2.0);
+            mem.write_f64(0x200 + k, 3.0);
+        }
+        let t = crate_trace(&p, mem);
+        assert_eq!(f64::from_bits(t), 48.0);
+    }
+
+    // Minimal local helpers to avoid a circular dev-dependency on
+    // ruu-exec: a tiny interpreter specialised for the test program.
+    struct MiniMem {
+        words: Vec<u64>,
+    }
+    impl MiniMem {
+        fn write_f64(&mut self, a: u64, v: f64) {
+            self.words[a as usize] = v.to_bits();
+        }
+    }
+    fn ruu_memless_stub() -> MiniMem {
+        MiniMem {
+            words: vec![0; 1 << 12],
+        }
+    }
+    fn crate_trace(p: &Program, mem: MiniMem) -> u64 {
+        use crate::semantics;
+        let mut regs = [0u64; crate::reg::NUM_REGS];
+        let mut pc = 0u32;
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            assert!(steps < 10_000, "runaway test program");
+            let i = &p[pc];
+            if i.is_halt() {
+                break;
+            }
+            let s1 = i.src1.map_or(0, |r| regs[r.index()]);
+            let s2 = i.src2.map_or(0, |r| regs[r.index()]);
+            if i.is_branch() {
+                if semantics::branch_taken(i.opcode, s1) {
+                    pc = i.target.unwrap();
+                } else {
+                    pc += 1;
+                }
+                continue;
+            }
+            if i.is_load() {
+                let ea = semantics::effective_address(s1, i.imm);
+                regs[i.dst.unwrap().index()] = mem.words[ea as usize];
+            } else if let Some(d) = i.dst {
+                regs[d.index()] = semantics::alu_result(i.opcode, s1, s2, i.imm);
+            }
+            pc += 1;
+        }
+        regs[Reg::s(1).index()]
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let p = parse(DOT).unwrap();
+        let text = emit(&p);
+        let q = parse(&text).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_covers_every_operand_shape() {
+        let mut a = Asm::new("shapes");
+        let top = a.new_label();
+        a.bind(top);
+        a.a_add(Reg::a(1), Reg::a(2), Reg::a(3));
+        a.a_sub_imm(Reg::a(1), Reg::a(1), -4);
+        a.a_imm(Reg::a(4), 0x1000);
+        a.s_imm(Reg::s(5), -9);
+        a.s_shl(Reg::s(5), Reg::s(5), 3);
+        a.s_pop(Reg::a(5), Reg::s(5));
+        a.f_recip(Reg::s(6), Reg::s(5));
+        a.a_to_b(Reg::b(63), Reg::a(1));
+        a.t_to_s(Reg::s(7), Reg::t(17));
+        a.ld_a(Reg::a(6), Reg::a(4), 12);
+        a.st_a(Reg::a(6), Reg::a(4), -12);
+        a.st_s(Reg::s(7), Reg::a(4), 99);
+        a.br_sm(top);
+        a.jump(top);
+        a.nop();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let q = parse(&emit(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("  a.add A1, A2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("expects 3"));
+
+        let e = parse("\n\n  frobnicate A1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unknown mnemonic"));
+
+        let e = parse("  a.add A1, A2, S3\n").unwrap_err();
+        assert!(e.message.contains("must be an A register"), "{e}");
+    }
+
+    #[test]
+    fn undefined_label_is_reported_by_name() {
+        let e = parse("  j nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn double_label_rejected() {
+        let e = parse("x:\nx:\n  halt\n").unwrap_err();
+        assert!(e.message.contains("defined twice"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Register value helpers.
+//!
+//! All architectural registers hold 64-bit words. Floating-point operands
+//! are IEEE-754 doubles stored by bit pattern (the real CRAY-1 used its own
+//! 64-bit float format; IEEE doubles preserve the latency/dependence
+//! behaviour the paper measures, which is all the experiments need).
+
+/// Reinterprets a register word as a floating-point value.
+#[must_use]
+pub fn as_f64(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+/// Reinterprets a floating-point value as a register word.
+#[must_use]
+pub fn from_f64(v: f64) -> u64 {
+    v.to_bits()
+}
+
+/// Interprets a register word as a signed integer (for branch sign tests).
+#[must_use]
+pub fn as_i64(bits: u64) -> i64 {
+    bits as i64
+}
+
+/// Encodes a signed integer as a register word.
+#[must_use]
+pub fn from_i64(v: i64) -> u64 {
+    v as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        for v in [0.0, 1.5, -3.25, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(as_f64(from_f64(v)), v);
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN] {
+            assert_eq!(as_i64(from_i64(v)), v);
+        }
+    }
+}

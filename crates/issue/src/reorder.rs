@@ -1,0 +1,404 @@
+//! The Smith & Pleszkun precise-interrupt schemes (paper §4; their
+//! reference \[5\]).
+//!
+//! Before merging precise interrupts with dependency resolution, the
+//! paper surveys the *in-order-issue* solutions of Smith & Pleszkun,
+//! "Implementation of Precise Interrupts in Pipelined Processors"
+//! (ISCA 1985):
+//!
+//! * [`PreciseScheme::ReorderBuffer`] — results wait in a reorder buffer
+//!   and update the register file in program order. A source register
+//!   cannot be read until its producer *commits*, so the buffer
+//!   "aggravates data dependencies" (§4);
+//! * [`PreciseScheme::ReorderBufferBypass`] — same, but issue may read a
+//!   completed value out of the buffer (expensive associative search +
+//!   data paths), removing the aggravation;
+//! * [`PreciseScheme::HistoryBuffer`] — results go straight to the
+//!   register file (as in the imprecise baseline) while old values are
+//!   banked for undo; performance equals the bypassed reorder buffer at
+//!   the cost of a register-file read port;
+//! * [`PreciseScheme::FutureFile`] — a second, eagerly-updated register
+//!   file feeds issue while the architectural file is updated in order;
+//!   again the performance of the bypassed buffer, for a duplicated
+//!   register file.
+//!
+//! All four issue **in program order** (they fix interrupts, not
+//! dependencies); the RUU's point (§5) is that one structure can do both.
+//! The `section4` bench puts these machines next to the RUU.
+//!
+//! Because issue is in-order and blocking, the whole timing of an
+//! instruction is determined at issue: completion is `issue + latency`,
+//! and commit is `max(completion, previous commit + 1)` (one commit per
+//! cycle over the buffer→register-file path). That makes this simulator a
+//! small extension of [`crate::SimpleIssue`].
+
+use ruu_exec::{ArchState, Memory};
+use ruu_isa::{semantics, Program, NUM_REGS};
+use ruu_sim_core::{FuPool, MachineConfig, RunResult, RunStats, SlotReservation, StallReason};
+
+use crate::common::{charge_frontend_stall, FetchSlot, Frontend, Operand, Tag};
+use crate::SimError;
+
+/// Which Smith & Pleszkun structure guarantees precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PreciseScheme {
+    /// Simple reorder buffer: sources readable at producer *commit*.
+    ReorderBuffer,
+    /// Reorder buffer with bypass paths: sources readable at producer
+    /// *completion*.
+    ReorderBufferBypass,
+    /// History buffer: register file updated at completion, old values
+    /// banked; sources readable at completion.
+    HistoryBuffer,
+    /// Future file: issue reads the eagerly-updated future file; sources
+    /// readable at completion.
+    FutureFile,
+}
+
+impl PreciseScheme {
+    /// `true` if a consumer may read its operand as soon as the producer
+    /// completes (rather than commits).
+    #[must_use]
+    pub fn reads_at_completion(self) -> bool {
+        !matches!(self, PreciseScheme::ReorderBuffer)
+    }
+
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PreciseScheme::ReorderBuffer => "reorder-buffer",
+            PreciseScheme::ReorderBufferBypass => "reorder-buffer+bypass",
+            PreciseScheme::HistoryBuffer => "history-buffer",
+            PreciseScheme::FutureFile => "future-file",
+        }
+    }
+}
+
+/// An in-order-issue machine with one of the [`PreciseScheme`]s bolted
+/// on — the §4 strawmen the RUU improves upon.
+#[derive(Debug, Clone)]
+pub struct InOrderPrecise {
+    config: MachineConfig,
+    scheme: PreciseScheme,
+    buffer_entries: usize,
+}
+
+impl InOrderPrecise {
+    /// Creates the machine with `buffer_entries` reorder/history/future
+    /// buffer slots.
+    ///
+    /// # Panics
+    /// Panics if `buffer_entries` is zero.
+    #[must_use]
+    pub fn new(config: MachineConfig, scheme: PreciseScheme, buffer_entries: usize) -> Self {
+        assert!(buffer_entries > 0, "the buffer needs at least one entry");
+        InOrderPrecise {
+            config,
+            scheme,
+            buffer_entries,
+        }
+    }
+
+    /// The scheme being simulated.
+    #[must_use]
+    pub fn scheme(&self) -> PreciseScheme {
+        self.scheme
+    }
+
+    /// Runs `program` to completion from zeroed registers.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InstLimit`] if more than `limit` dynamic
+    /// instructions issue.
+    pub fn run(&self, program: &Program, mem: Memory, limit: u64) -> Result<RunResult, SimError> {
+        let cfg = &self.config;
+        let mut state = ArchState::new();
+        let mut mem = mem;
+        let mut frontend = Frontend::new(0);
+        // Cycle at which each register's value becomes *readable* under
+        // the scheme (commit for the plain reorder buffer, completion for
+        // the others).
+        let mut reg_ready = [0u64; NUM_REGS];
+        let mut fus = FuPool::new();
+        let mut bus = SlotReservation::new(cfg.result_buses);
+        let mut stats = RunStats::default();
+        let mut cycle: u64 = 0;
+        let mut issued: u64 = 0;
+        let mut last_write: u64 = 0;
+        // In-order commit bookkeeping: commit_i = max(complete_i,
+        // commit_{i-1} + 1). The buffer holds instructions from issue to
+        // commit; since both sequences are in order, occupancy at a
+        // future time is derived from the commit times of the last
+        // `buffer_entries` instructions (a ring of commit times).
+        let mut last_commit: u64 = 0;
+        let mut commit_ring = vec![0u64; self.buffer_entries];
+        let mut ring_pos = 0usize;
+
+        loop {
+            match frontend.peek(cycle, program) {
+                FetchSlot::Halted => break,
+                slot @ (FetchSlot::Dead | FetchSlot::BranchParked) => {
+                    if let FetchSlot::BranchParked = slot {
+                        let pb = *frontend.pending_branch().expect("branch is parked");
+                        let cond_reg = pb.inst.src1;
+                        let ready = cond_reg.is_none_or(|r| reg_ready[r.index()] <= cycle);
+                        if ready {
+                            let v = cond_reg.map_or(0, |r| state.reg(r));
+                            frontend.resolve_branch(cycle, &pb.inst, v, cfg, &mut stats);
+                            issued += 1;
+                            stats.issue_cycles += 1;
+                            cycle += 1;
+                            continue;
+                        }
+                    }
+                    charge_frontend_stall(&slot, &mut stats);
+                    cycle += 1;
+                }
+                FetchSlot::Inst(pc, inst) => {
+                    if issued >= limit {
+                        return Err(SimError::InstLimit { limit });
+                    }
+                    if inst.is_branch() {
+                        let cond_reg = inst.src1;
+                        let ready = cond_reg.is_none_or(|r| reg_ready[r.index()] <= cycle);
+                        if ready {
+                            let v = cond_reg.map_or(0, |r| state.reg(r));
+                            frontend.resolve_branch(cycle, &inst, v, cfg, &mut stats);
+                            issued += 1;
+                            stats.issue_cycles += 1;
+                        } else {
+                            frontend.park_branch(
+                                pc,
+                                inst,
+                                Operand::Waiting(Tag {
+                                    reg: cond_reg.expect("waiting branch reads a register"),
+                                    instance: 0,
+                                }),
+                            );
+                            stats.stall(StallReason::BranchWait);
+                        }
+                        cycle += 1;
+                        continue;
+                    }
+                    if inst.fu_class().is_none() {
+                        issued += 1;
+                        stats.issue_cycles += 1;
+                        frontend.advance();
+                        cycle += 1;
+                        continue;
+                    }
+
+                    // (i) sources readable under the scheme
+                    if inst.sources().any(|r| reg_ready[r.index()] > cycle) {
+                        stats.stall(StallReason::OperandsNotReady);
+                        cycle += 1;
+                        continue;
+                    }
+                    // (ii) destination not busy (single outstanding write
+                    // per register keeps every scheme's bookkeeping a
+                    // plain busy bit, as in the baseline machine)
+                    if let Some(d) = inst.dst {
+                        if reg_ready[d.index()] > cycle {
+                            stats.stall(StallReason::DestinationBusy);
+                            cycle += 1;
+                            continue;
+                        }
+                    }
+                    let fu = inst.fu_class().expect("non-branch has a unit");
+                    if !fus.can_accept(fu, cycle) {
+                        stats.stall(StallReason::FuBusy);
+                        cycle += 1;
+                        continue;
+                    }
+                    let lat = cfg.fu_latency(fu);
+                    let needs_bus = inst.dst.is_some();
+                    if needs_bus && !bus.available(cycle + lat) {
+                        stats.stall(StallReason::BusConflict);
+                        cycle += 1;
+                        continue;
+                    }
+                    // (iii) a buffer slot: the slot taken now frees at
+                    // this instruction's commit; the slot it reuses must
+                    // have drained already.
+                    if commit_ring[ring_pos] > cycle {
+                        stats.stall(StallReason::WindowFull);
+                        cycle += 1;
+                        continue;
+                    }
+
+                    // Issue. Timing:
+                    fus.accept(fu, cycle);
+                    if needs_bus {
+                        bus.try_reserve(cycle + lat);
+                    }
+                    let complete = cycle + lat;
+                    let commit = complete.max(last_commit + 1);
+                    last_commit = commit;
+                    commit_ring[ring_pos] = commit;
+                    ring_pos = (ring_pos + 1) % self.buffer_entries;
+                    if let Some(d) = inst.dst {
+                        reg_ready[d.index()] = if self.scheme.reads_at_completion() {
+                            complete
+                        } else {
+                            commit
+                        };
+                    }
+                    last_write = last_write.max(commit);
+
+                    // Function (eager update is safe: in-order issue with
+                    // readable operands):
+                    let s1 = inst.src1.map_or(0, |r| state.reg(r));
+                    let s2 = inst.src2.map_or(0, |r| state.reg(r));
+                    if inst.is_load() {
+                        let ea = semantics::effective_address(s1, inst.imm);
+                        state.set_reg(inst.dst.expect("load writes a register"), mem.read(ea));
+                    } else if inst.is_store() {
+                        let ea = semantics::effective_address(s1, inst.imm);
+                        mem.write(ea, s2);
+                    } else if let Some(d) = inst.dst {
+                        state.set_reg(d, semantics::alu_result(inst.opcode, s1, s2, inst.imm));
+                    }
+
+                    issued += 1;
+                    stats.issue_cycles += 1;
+                    frontend.advance();
+                    cycle += 1;
+                }
+            }
+        }
+
+        state.pc = frontend.pc();
+        Ok(RunResult {
+            cycles: cycle.max(last_write),
+            instructions: issued,
+            state,
+            memory: mem,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::SimpleIssue;
+    use ruu_isa::{Asm, Reg};
+    use ruu_workloads::livermore;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::paper()
+    }
+
+    fn all_schemes() -> [PreciseScheme; 4] {
+        [
+            PreciseScheme::ReorderBuffer,
+            PreciseScheme::ReorderBufferBypass,
+            PreciseScheme::HistoryBuffer,
+            PreciseScheme::FutureFile,
+        ]
+    }
+
+    #[test]
+    fn all_schemes_match_golden_on_a_kernel() {
+        let w = livermore::lll5();
+        let g = w.golden_trace().unwrap();
+        for scheme in all_schemes() {
+            let r = InOrderPrecise::new(cfg(), scheme, 8)
+                .run(&w.program, w.memory.clone(), w.inst_limit)
+                .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+            assert_eq!(&r.state.regs, &g.final_state().regs, "{}", scheme.name());
+            assert_eq!(&r.memory, g.final_memory(), "{}", scheme.name());
+            w.verify(&r.memory).unwrap();
+        }
+    }
+
+    #[test]
+    fn plain_reorder_buffer_aggravates_dependencies() {
+        // Paper §4: "the value of a register cannot be read till it has
+        // been updated by the reorder buffer". A consumer right behind a
+        // long-latency producer pays extra commit-wait cycles.
+        let mut a = Asm::new("t");
+        a.f_recip(Reg::s(1), Reg::s(0)); // long
+        a.s_imm(Reg::s(2), 3); // quick, commits behind the recip
+        a.s_add(Reg::s(3), Reg::s(2), Reg::s(2)); // consumer of the quick one
+        a.halt();
+        let p = a.assemble().unwrap();
+        let plain = InOrderPrecise::new(cfg(), PreciseScheme::ReorderBuffer, 8)
+            .run(&p, Memory::new(1 << 8), 1000)
+            .unwrap();
+        let bypass = InOrderPrecise::new(cfg(), PreciseScheme::ReorderBufferBypass, 8)
+            .run(&p, Memory::new(1 << 8), 1000)
+            .unwrap();
+        assert!(
+            plain.cycles > bypass.cycles,
+            "plain {} should exceed bypassed {}",
+            plain.cycles,
+            bypass.cycles
+        );
+        assert_eq!(plain.state.regs, bypass.state.regs);
+    }
+
+    #[test]
+    fn bypass_history_and_future_file_perform_identically() {
+        // Paper §4: the three full-visibility schemes have the same
+        // performance (they differ in hardware cost, not timing).
+        let w = livermore::lll1();
+        let runs: Vec<u64> = [
+            PreciseScheme::ReorderBufferBypass,
+            PreciseScheme::HistoryBuffer,
+            PreciseScheme::FutureFile,
+        ]
+        .into_iter()
+        .map(|s| {
+            InOrderPrecise::new(cfg(), s, 10)
+                .run(&w.program, w.memory.clone(), w.inst_limit)
+                .unwrap()
+                .cycles
+        })
+        .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn bypassed_buffer_costs_little_over_the_imprecise_baseline() {
+        // Paper §4: "with a bypass mechanism, the issue rate of the
+        // machine is not degraded considerably if the size of the buffer
+        // is reasonably large".
+        let w = livermore::lll12();
+        let base = SimpleIssue::new(cfg())
+            .run(&w.program, w.memory.clone(), w.inst_limit)
+            .unwrap();
+        let rb = InOrderPrecise::new(cfg(), PreciseScheme::ReorderBufferBypass, 12)
+            .run(&w.program, w.memory.clone(), w.inst_limit)
+            .unwrap();
+        let ratio = rb.cycles as f64 / base.cycles as f64;
+        assert!(
+            ratio < 1.10,
+            "bypassed reorder buffer should cost <10% over baseline, got {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn tiny_buffer_throttles_issue() {
+        let w = livermore::lll7();
+        let small = InOrderPrecise::new(cfg(), PreciseScheme::ReorderBufferBypass, 1)
+            .run(&w.program, w.memory.clone(), w.inst_limit)
+            .unwrap();
+        let big = InOrderPrecise::new(cfg(), PreciseScheme::ReorderBufferBypass, 16)
+            .run(&w.program, w.memory.clone(), w.inst_limit)
+            .unwrap();
+        assert!(small.cycles > big.cycles);
+        assert!(small.stats.stalls(StallReason::WindowFull) > 0);
+        assert_eq!(small.state.regs, big.state.regs);
+    }
+
+    #[test]
+    fn scheme_names_are_distinct() {
+        let mut names: Vec<&str> = all_schemes().iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

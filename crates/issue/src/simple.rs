@@ -1,0 +1,342 @@
+//! The *simple issue mechanism* — the paper's baseline (Table 1).
+//!
+//! A CRAY-1-style in-order, blocking decode/issue stage: an instruction
+//! issues only when (i) its source registers are not busy, (ii) its
+//! destination register is not busy, (iii) its functional unit can accept
+//! it, and (iv) a result-bus slot is free at its completion cycle. While an
+//! instruction waits, everything behind it waits too — the degradation the
+//! out-of-order mechanisms exist to remove.
+//!
+//! Instructions complete (and update registers) out of program order, so
+//! this baseline machine has *imprecise* interrupts, exactly like the
+//! CRAY-1 scalar unit it models.
+
+use ruu_exec::{ArchState, Memory};
+use ruu_isa::{semantics, Program, NUM_REGS};
+use ruu_sim_core::{FuPool, MachineConfig, RunResult, RunStats, SlotReservation, StallReason};
+
+use crate::common::{charge_frontend_stall, FetchSlot, Frontend, Operand, Tag};
+use crate::SimError;
+
+/// The in-order, blocking-issue baseline simulator.
+#[derive(Debug, Clone)]
+pub struct SimpleIssue {
+    config: MachineConfig,
+}
+
+impl SimpleIssue {
+    /// Creates a baseline simulator with the given machine configuration.
+    #[must_use]
+    pub fn new(config: MachineConfig) -> Self {
+        SimpleIssue { config }
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Runs `program` to completion from zeroed registers.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InstLimit`] if more than `limit` dynamic
+    /// instructions issue (infinite-loop guard).
+    pub fn run(&self, program: &Program, mem: Memory, limit: u64) -> Result<RunResult, SimError> {
+        self.run_from(ArchState::new(), mem, program, limit)
+    }
+
+    /// Runs `program` from an explicit architectural state (used by
+    /// restart tests).
+    ///
+    /// # Errors
+    /// Returns [`SimError::InstLimit`] if more than `limit` dynamic
+    /// instructions issue.
+    pub fn run_from(
+        &self,
+        state: ArchState,
+        mut mem: Memory,
+        program: &Program,
+        limit: u64,
+    ) -> Result<RunResult, SimError> {
+        let cfg = &self.config;
+        let mut state = state;
+        let mut frontend = Frontend::new(state.pc);
+        let mut reg_ready = [0u64; NUM_REGS];
+        let mut fus = FuPool::new();
+        let mut bus = SlotReservation::new(cfg.result_buses);
+        let mut stats = RunStats::default();
+        let mut cycle: u64 = 0;
+        let mut issued: u64 = 0;
+        let mut last_write: u64 = 0;
+
+        loop {
+            match frontend.peek(cycle, program) {
+                FetchSlot::Halted => break,
+                slot @ (FetchSlot::Dead | FetchSlot::BranchParked) => {
+                    if let FetchSlot::BranchParked = slot {
+                        // Re-check the parked branch's condition register.
+                        let pb = *frontend.pending_branch().expect("branch is parked");
+                        let cond_reg = pb.inst.src1;
+                        let ready =
+                            cond_reg.is_none_or(|r| reg_ready[r.index()] <= cycle);
+                        if ready {
+                            let v = cond_reg.map_or(0, |r| state.reg(r));
+                            frontend.resolve_branch(cycle, &pb.inst, v, cfg, &mut stats);
+                            issued += 1;
+                            stats.issue_cycles += 1;
+                            cycle += 1;
+                            continue;
+                        }
+                    }
+                    charge_frontend_stall(&slot, &mut stats);
+                    cycle += 1;
+                }
+                FetchSlot::Inst(pc, inst) => {
+                    if issued >= limit {
+                        return Err(SimError::InstLimit { limit });
+                    }
+                    if inst.is_branch() {
+                        let cond_reg = inst.src1;
+                        let ready =
+                            cond_reg.is_none_or(|r| reg_ready[r.index()] <= cycle);
+                        if ready {
+                            let v = cond_reg.map_or(0, |r| state.reg(r));
+                            frontend.resolve_branch(cycle, &inst, v, cfg, &mut stats);
+                            issued += 1;
+                            stats.issue_cycles += 1;
+                        } else {
+                            frontend.park_branch(
+                                pc,
+                                inst,
+                                Operand::Waiting(Tag {
+                                    reg: cond_reg.expect("waiting branch reads a register"),
+                                    instance: 0,
+                                }),
+                            );
+                            stats.stall(StallReason::BranchWait);
+                        }
+                        cycle += 1;
+                        continue;
+                    }
+
+                    // Nop: issues unconditionally, touches nothing.
+                    if inst.fu_class().is_none() {
+                        issued += 1;
+                        stats.issue_cycles += 1;
+                        frontend.advance();
+                        cycle += 1;
+                        continue;
+                    }
+
+                    // (i) source registers not busy
+                    if inst.sources().any(|r| reg_ready[r.index()] > cycle) {
+                        stats.stall(StallReason::OperandsNotReady);
+                        cycle += 1;
+                        continue;
+                    }
+                    // (ii) destination register not busy (results return
+                    // directly to the register file, so WAW must block)
+                    if let Some(d) = inst.dst {
+                        if reg_ready[d.index()] > cycle {
+                            stats.stall(StallReason::DestinationBusy);
+                            cycle += 1;
+                            continue;
+                        }
+                    }
+                    let fu = inst.fu_class().expect("non-branch has a unit");
+                    // (iii) functional unit free
+                    if !fus.can_accept(fu, cycle) {
+                        stats.stall(StallReason::FuBusy);
+                        cycle += 1;
+                        continue;
+                    }
+                    // (iv) result-bus slot at completion (stores produce
+                    // no register result and skip the bus)
+                    let lat = cfg.fu_latency(fu);
+                    let needs_bus = inst.dst.is_some();
+                    if needs_bus && !bus.available(cycle + lat) {
+                        stats.stall(StallReason::BusConflict);
+                        cycle += 1;
+                        continue;
+                    }
+
+                    // Issue: timing
+                    fus.accept(fu, cycle);
+                    if needs_bus {
+                        bus.try_reserve(cycle + lat);
+                    }
+                    if let Some(d) = inst.dst {
+                        reg_ready[d.index()] = cycle + lat;
+                    }
+                    last_write = last_write.max(cycle + lat);
+
+                    // Issue: function (in-order issue with ready operands
+                    // makes eager architectural update safe)
+                    let s1 = inst.src1.map_or(0, |r| state.reg(r));
+                    let s2 = inst.src2.map_or(0, |r| state.reg(r));
+                    if inst.is_load() {
+                        let ea = semantics::effective_address(s1, inst.imm);
+                        state.set_reg(inst.dst.expect("load writes a register"), mem.read(ea));
+                    } else if inst.is_store() {
+                        let ea = semantics::effective_address(s1, inst.imm);
+                        mem.write(ea, s2);
+                    } else if let Some(d) = inst.dst {
+                        state.set_reg(d, semantics::alu_result(inst.opcode, s1, s2, inst.imm));
+                    }
+
+                    issued += 1;
+                    stats.issue_cycles += 1;
+                    frontend.advance();
+                    cycle += 1;
+                }
+            }
+        }
+
+        state.pc = frontend.pc();
+        Ok(RunResult {
+            cycles: cycle.max(last_write),
+            instructions: issued,
+            state,
+            memory: mem,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruu_isa::{Asm, Reg};
+
+    fn run(asm: Asm) -> RunResult {
+        let p = asm.assemble().unwrap();
+        SimpleIssue::new(MachineConfig::paper())
+            .run(&p, Memory::new(1 << 12), 100_000)
+            .unwrap()
+    }
+
+    #[test]
+    fn independent_instructions_issue_every_cycle() {
+        let mut a = Asm::new("t");
+        a.a_imm(Reg::a(1), 1);
+        a.a_imm(Reg::a(2), 2);
+        a.a_imm(Reg::a(3), 3);
+        a.halt();
+        let r = run(a);
+        assert_eq!(r.instructions, 3);
+        // issue cycles 0,1,2; transfers complete at 1,2,3
+        assert_eq!(r.cycles, 3);
+        assert_eq!(r.state.reg(Reg::a(3)), 3);
+    }
+
+    #[test]
+    fn raw_dependence_blocks_issue() {
+        let mut a = Asm::new("t");
+        a.a_imm(Reg::a(1), 5); // issues @0, A1 ready @1
+        a.a_add(Reg::a(2), Reg::a(1), Reg::a(1)); // issues @1, A2 ready @3
+        a.a_add(Reg::a(3), Reg::a(2), Reg::a(2)); // waits: issues @3, ready @5
+        a.halt();
+        let r = run(a);
+        assert_eq!(r.state.reg(Reg::a(3)), 20);
+        assert_eq!(r.cycles, 5);
+        assert_eq!(r.stats.stalls(StallReason::OperandsNotReady), 1);
+    }
+
+    #[test]
+    fn waw_blocks_issue() {
+        let mut a = Asm::new("t");
+        a.f_add(Reg::s(1), Reg::s(0), Reg::s(0)); // @0, S1 ready @6
+        a.a_imm(Reg::a(1), 1); // @1, independent
+        a.s_imm(Reg::s(1), 7); // WAW on S1: must wait until @6
+        a.halt();
+        let r = run(a);
+        assert!(r.stats.stalls(StallReason::DestinationBusy) > 0);
+        assert_eq!(r.state.reg(Reg::s(1)), 7);
+    }
+
+    #[test]
+    fn result_bus_conflict_delays_issue() {
+        // Two ops that would complete in the same cycle on one bus:
+        // f.add (lat 6) @0 completes @6; s.add (lat 3) would complete @6
+        // if issued @3.
+        let mut a = Asm::new("t");
+        a.f_add(Reg::s(1), Reg::s(0), Reg::s(0));
+        a.a_imm(Reg::a(1), 1);
+        a.a_imm(Reg::a(2), 2);
+        a.s_add(Reg::s(2), Reg::s(3), Reg::s(4)); // would issue @3 → completes @6: conflict
+        a.halt();
+        let r = run(a);
+        assert_eq!(r.stats.stalls(StallReason::BusConflict), 1);
+    }
+
+    #[test]
+    fn taken_branch_costs_dead_cycles() {
+        // A 2-iteration loop; measure that dead cycles appear.
+        let mut a = Asm::new("t");
+        let top = a.new_label();
+        a.a_imm(Reg::a(0), 2);
+        a.bind(top);
+        a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+        a.br_an(top);
+        a.halt();
+        let r = run(a);
+        assert_eq!(r.instructions, 5);
+        assert_eq!(r.stats.branches, 2);
+        assert_eq!(r.stats.taken_branches, 1);
+        assert!(r.stats.stalls(StallReason::DeadCycle) >= MachineConfig::paper().branch_taken_penalty);
+    }
+
+    #[test]
+    fn branch_waits_for_condition() {
+        let mut a = Asm::new("t");
+        let out = a.new_label();
+        a.ld_a(Reg::a(0), Reg::a(1), 0); // A0 ready @11
+        a.br_az(out); // must wait for the load
+        a.nop();
+        a.bind(out);
+        a.halt();
+        let r = run(a);
+        assert!(r.stats.stalls(StallReason::BranchWait) >= 9);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_final_state() {
+        let mut a = Asm::new("t");
+        a.a_imm(Reg::a(1), 64);
+        a.s_imm(Reg::s(1), 9);
+        a.st_s(Reg::s(1), Reg::a(1), 0);
+        a.ld_s(Reg::s(2), Reg::a(1), 0);
+        a.halt();
+        let r = run(a);
+        assert_eq!(r.state.reg(Reg::s(2)), 9);
+        assert_eq!(r.memory.read(64), 9);
+    }
+
+    #[test]
+    fn matches_golden_interpreter() {
+        // A small loop with loads, stores, floats and branches.
+        let mut a = Asm::new("t");
+        let top = a.new_label();
+        a.a_imm(Reg::a(0), 8);
+        a.a_imm(Reg::a(1), 128);
+        a.s_imm(Reg::s(1), 3);
+        a.bind(top);
+        a.st_s(Reg::s(1), Reg::a(1), 0);
+        a.ld_s(Reg::s(2), Reg::a(1), 0);
+        a.s_add(Reg::s(1), Reg::s(1), Reg::s(2));
+        a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+        a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+        a.br_an(top);
+        a.halt();
+        let p = a.assemble().unwrap();
+
+        let golden = ruu_exec::Trace::capture(&p, Memory::new(1 << 12), 100_000).unwrap();
+        let r = SimpleIssue::new(MachineConfig::paper())
+            .run(&p, Memory::new(1 << 12), 100_000)
+            .unwrap();
+        assert_eq!(r.instructions, golden.len() as u64);
+        assert_eq!(&r.state, golden.final_state());
+        assert_eq!(&r.memory, golden.final_memory());
+    }
+}

@@ -1,0 +1,959 @@
+//! The §7 extension: an RUU with branch prediction and **conditional
+//! (speculative) execution**.
+//!
+//! The paper closes by observing that the RUU "provides a very powerful
+//! mechanism for nullifying instructions … the conditional execution of
+//! instructions with a RUU is very easy" and that "there is no hard limit
+//! to the number of branches that can be predicted" (§7). This module
+//! builds that machine:
+//!
+//! * a conditional branch whose condition is not ready no longer parks in
+//!   the decode stage — a [`Predictor`] picks a path and fetch continues;
+//! * speculative instructions enter the RUU, execute, and forward results
+//!   normally, but **cannot commit** past an unresolved branch, so the
+//!   architectural state stays precise;
+//! * on a misprediction, every younger RUU entry is nullified: the NI/LI
+//!   instance counters, the A future file and the load registers are
+//!   restored from the branch's snapshot, and fetch redirects to the
+//!   correct path.
+//!
+//! Everything architectural is untouched by speculation, so the golden-
+//! equivalence tests hold for this machine exactly as for the base RUU.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ruu_exec::{ArchState, Memory};
+use ruu_isa::{semantics, FuClass, Inst, Opcode, Program, Reg, NUM_REGS};
+use ruu_sim_core::{
+    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, RunResult, RunStats,
+    SlotReservation, StallReason,
+};
+
+use crate::common::{Broadcasts, Operand, Tag};
+use crate::predict::Predictor;
+use crate::ruu::Bypass;
+use crate::SimError;
+
+/// Statistics specific to speculative execution.
+#[derive(Debug, Clone, Default)]
+pub struct SpecStats {
+    /// Conditional branches whose outcome had to be predicted.
+    pub predicted: u64,
+    /// Predictions that turned out wrong.
+    pub mispredicted: u64,
+    /// Speculative instructions nullified by squashes.
+    pub nullified: u64,
+}
+
+/// Result of a speculative run: the architectural [`RunResult`] plus
+/// speculation statistics.
+#[derive(Debug, Clone)]
+pub struct SpecRunResult {
+    /// The architectural result (instructions = committed instructions
+    /// plus resolved branches, exactly as the non-speculative machines
+    /// count).
+    pub run: RunResult,
+    /// Speculation counters.
+    pub spec: SpecStats,
+}
+
+/// The speculative RUU simulator.
+#[derive(Debug, Clone)]
+pub struct SpecRuu {
+    config: MachineConfig,
+    entries: usize,
+    bypass: Bypass,
+}
+
+impl SpecRuu {
+    /// Creates a speculative RUU with `entries` window entries.
+    ///
+    /// # Panics
+    /// Panics if `entries` is zero.
+    #[must_use]
+    pub fn new(config: MachineConfig, entries: usize, bypass: Bypass) -> Self {
+        assert!(entries > 0, "the RUU needs at least one entry");
+        SpecRuu {
+            config,
+            entries,
+            bypass,
+        }
+    }
+
+    /// Runs `program` to completion under speculation with `predictor`.
+    ///
+    /// # Errors
+    /// [`SimError::InstLimit`] if more than `limit` *architectural*
+    /// instructions complete; [`SimError::Deadlock`] on lack of progress.
+    pub fn run(
+        &self,
+        program: &Program,
+        mem: Memory,
+        limit: u64,
+        predictor: &mut dyn Predictor,
+    ) -> Result<SpecRunResult, SimError> {
+        let mut core = SCore::new(self, mem, program, limit, predictor);
+        core.run()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemPhase {
+    NotMem,
+    AwaitingLr,
+    ToMemory,
+    AwaitingData,
+    Forwarding,
+    StorePending,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    inst: Inst,
+    dst_tag: Option<Tag>,
+    ops: [Operand; 2],
+    dispatched: bool,
+    executed: bool,
+    result: Option<u64>,
+    ea: Option<u64>,
+    mem_phase: MemPhase,
+    lr_provider: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Finish(u64),
+    StoreExec(u64),
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FfEntry {
+    value: u64,
+    valid: bool,
+}
+
+/// Snapshot taken when a branch is predicted, for misprediction repair.
+/// Branches whose condition was already known at decode also get a record
+/// (with `assumed_taken` = the actual outcome, so they can never
+/// "mispredict"): a branch only *counts* architecturally when it reaches
+/// the front of the record queue, i.e. when it is itself known to be on
+/// the correct path.
+#[derive(Debug, Clone)]
+struct BranchRecord {
+    seq: u64,
+    pc: u32,
+    inst: Inst,
+    assumed_taken: bool,
+    /// `true` if the direction came from the predictor (may mispredict).
+    speculative: bool,
+    cond: Operand,
+    /// pc of the *other* path, fetched on misprediction.
+    repair_pc: u32,
+    /// LI counters at prediction time (only issue advances LI, and every
+    /// post-branch issue is squashed, so restoring is exact).
+    li: [u64; NUM_REGS],
+    /// A future file at prediction time (restoring is conservative: a
+    /// legitimate older broadcast in between re-arrives via the commit
+    /// bus, so a stale-invalid entry only delays, never corrupts).
+    ff: [FfEntry; 8],
+}
+
+struct SCore<'a> {
+    cfg: &'a MachineConfig,
+    program: &'a Program,
+    bypass: Bypass,
+    capacity: usize,
+    limit: u64,
+    predictor: &'a mut dyn Predictor,
+
+    cycle: u64,
+    arch: ArchState,
+    mem: Memory,
+    ni: [u32; NUM_REGS],
+    li: [u64; NUM_REGS],
+    ff: [FfEntry; 8],
+    window: VecDeque<Entry>,
+    branches: VecDeque<BranchRecord>,
+    mem_queue: VecDeque<u64>,
+    forward_queue: Vec<u64>,
+    events: BTreeMap<u64, Vec<Event>>,
+    lr: LoadRegUnit,
+    fus: FuPool,
+    bus: SlotReservation,
+    broadcasts: Broadcasts,
+    stats: RunStats,
+    spec: SpecStats,
+
+    pc: u32,
+    next_fetch_cycle: u64,
+    halted: bool,
+
+    seq_counter: u64,
+    /// Architectural completions: commits + resolved branches.
+    completed: u64,
+    events_scheduled: u64,
+    last_progress: (u64, u64),
+    last_progress_cycle: u64,
+}
+
+impl<'a> SCore<'a> {
+    fn new(
+        sim: &'a SpecRuu,
+        mem: Memory,
+        program: &'a Program,
+        limit: u64,
+        predictor: &'a mut dyn Predictor,
+    ) -> Self {
+        SCore {
+            cfg: &sim.config,
+            program,
+            bypass: sim.bypass,
+            capacity: sim.entries,
+            limit,
+            predictor,
+            cycle: 0,
+            arch: ArchState::new(),
+            mem,
+            ni: [0; NUM_REGS],
+            li: [0; NUM_REGS],
+            ff: [FfEntry::default(); 8],
+            window: VecDeque::new(),
+            branches: VecDeque::new(),
+            mem_queue: VecDeque::new(),
+            forward_queue: Vec::new(),
+            events: BTreeMap::new(),
+            lr: LoadRegUnit::new(sim.config.load_registers),
+            fus: FuPool::new(),
+            bus: SlotReservation::new(sim.config.result_buses),
+            broadcasts: Broadcasts::default(),
+            stats: RunStats::default(),
+            spec: SpecStats::default(),
+            pc: 0,
+            next_fetch_cycle: 0,
+            halted: false,
+            seq_counter: 0,
+            completed: 0,
+            events_scheduled: 0,
+            last_progress: (0, 0),
+            last_progress_cycle: 0,
+        }
+    }
+
+    fn tag_mask(&self) -> u64 {
+        (1u64 << self.cfg.counter_bits) - 1
+    }
+
+    fn pos(&self, seq: u64) -> usize {
+        self.window
+            .iter()
+            .position(|e| e.seq == seq)
+            .expect("entry for live seq is in the window")
+    }
+
+    fn schedule(&mut self, cycle: u64, ev: Event) {
+        self.events_scheduled += 1;
+        self.events.entry(cycle).or_default().push(ev);
+    }
+
+    fn gate_all(&mut self, tag: Tag, value: u64) {
+        self.broadcasts.push(tag, value);
+        for e in &mut self.window {
+            for op in &mut e.ops {
+                op.gate(tag, value);
+            }
+        }
+        for b in &mut self.branches {
+            b.cond.gate(tag, value);
+        }
+    }
+
+    fn broadcast_result(&mut self, tag: Tag, value: u64) {
+        self.gate_all(tag, value);
+        if tag.reg.is_a() && tag.instance == (self.li[tag.reg.index()] & self.tag_mask()) {
+            self.ff[tag.reg.num() as usize] = FfEntry { value, valid: true };
+        }
+    }
+
+    fn wake_forwarded_load(&mut self, seq: u64, value: u64) {
+        let i = self.pos(seq);
+        let e = &mut self.window[i];
+        debug_assert_eq!(e.mem_phase, MemPhase::AwaitingData);
+        e.result = Some(value);
+        e.mem_phase = MemPhase::Forwarding;
+        self.forward_queue.push(seq);
+        self.stats.forwarded_loads += 1;
+    }
+
+    // ---- phases (mirroring the base RUU; see ruu.rs) -----------------
+
+    fn phase_completions(&mut self) {
+        let Some(evs) = self.events.remove(&self.cycle) else {
+            return;
+        };
+        for ev in evs {
+            match ev {
+                Event::Finish(seq) => {
+                    let i = self.pos(seq);
+                    let e = &mut self.window[i];
+                    e.executed = true;
+                    let dst_tag = e.dst_tag;
+                    let value = e.result;
+                    let is_load = e.inst.is_load();
+                    let was_provider = e.lr_provider;
+                    if is_load {
+                        e.mem_phase = MemPhase::Done;
+                    }
+                    if let Some(tag) = dst_tag {
+                        let v = value.expect("finished producer has a result");
+                        self.broadcast_result(tag, v);
+                    }
+                    if is_load {
+                        if was_provider {
+                            let v = value.expect("finished load has data");
+                            for w in self.lr.provider_ready(seq, v) {
+                                self.wake_forwarded_load(w, v);
+                            }
+                        }
+                        self.lr.retire(seq);
+                    }
+                }
+                Event::StoreExec(seq) => {
+                    let i = self.pos(seq);
+                    let e = &mut self.window[i];
+                    e.executed = true;
+                    let data = e.ops[1].value();
+                    for w in self.lr.provider_ready(seq, data) {
+                        self.wake_forwarded_load(w, data);
+                    }
+                }
+            }
+        }
+    }
+
+    fn phase_addr_gen(&mut self) {
+        let Some(&seq) = self.mem_queue.front() else {
+            return;
+        };
+        let i = self.pos(seq);
+        let (ready, kind, imm) = {
+            let e = &self.window[i];
+            (
+                e.ops[0].is_ready(),
+                if e.inst.is_load() {
+                    MemOpKind::Load
+                } else {
+                    MemOpKind::Store
+                },
+                e.inst.imm,
+            )
+        };
+        if !ready {
+            return;
+        }
+        let base = self.window[i].ops[0].value();
+        // Canonicalize so the load registers compare the word actually
+        // touched; raw effective addresses may alias one memory word.
+        let ea = self.mem.canonicalize(semantics::effective_address(base, imm));
+        let Some(outcome) = self.lr.process(seq, kind, ea) else {
+            return;
+        };
+        self.mem_queue.pop_front();
+        let e = &mut self.window[i];
+        e.ea = Some(ea);
+        match outcome {
+            LrOutcome::ToMemory => {
+                e.mem_phase = MemPhase::ToMemory;
+                e.lr_provider = true;
+            }
+            LrOutcome::Forwarded { value } => {
+                e.result = Some(value);
+                e.mem_phase = MemPhase::Forwarding;
+                self.forward_queue.push(seq);
+                self.stats.forwarded_loads += 1;
+            }
+            LrOutcome::WaitOn { .. } => e.mem_phase = MemPhase::AwaitingData,
+            LrOutcome::StoreRecorded => e.mem_phase = MemPhase::StorePending,
+        }
+    }
+
+    fn phase_forwards(&mut self) {
+        let lat = self.cfg.forward_latency;
+        let queue = std::mem::take(&mut self.forward_queue);
+        let mut remaining = Vec::new();
+        for seq in queue {
+            if self.bus.try_reserve(self.cycle + lat) {
+                self.schedule(self.cycle + lat, Event::Finish(seq));
+            } else {
+                remaining.push(seq);
+            }
+        }
+        self.forward_queue = remaining;
+    }
+
+    fn phase_dispatch(&mut self) {
+        let mut paths = self.cfg.dispatch_paths;
+        let mut candidates: Vec<(bool, u64)> = Vec::new();
+        for e in &self.window {
+            if e.dispatched || e.executed {
+                continue;
+            }
+            match e.mem_phase {
+                MemPhase::ToMemory => candidates.push((true, e.seq)),
+                MemPhase::StorePending
+                    if e.ops[0].is_ready() && e.ops[1].is_ready() => {
+                        candidates.push((true, e.seq));
+                    }
+                MemPhase::NotMem
+                    if e.inst.fu_class().is_some()
+                        && e.ops[0].is_ready()
+                        && e.ops[1].is_ready()
+                    => {
+                        candidates.push((false, e.seq));
+                    }
+                _ => {}
+            }
+        }
+        candidates.sort_by_key(|&(is_mem, seq)| (!is_mem, seq));
+        for (_, seq) in candidates {
+            if paths == 0 {
+                break;
+            }
+            let i = self.pos(seq);
+            let e = &self.window[i];
+            match e.mem_phase {
+                MemPhase::ToMemory => {
+                    let lat = self.cfg.fu_latency(FuClass::Memory);
+                    if self.fus.can_accept(FuClass::Memory, self.cycle)
+                        && self.bus.available(self.cycle + lat)
+                    {
+                        self.fus.accept(FuClass::Memory, self.cycle);
+                        self.bus.try_reserve(self.cycle + lat);
+                        let ea = e.ea.expect("address generated");
+                        let v = self.mem.read(ea);
+                        let e = &mut self.window[i];
+                        e.result = Some(v);
+                        e.dispatched = true;
+                        self.schedule(self.cycle + lat, Event::Finish(seq));
+                        paths -= 1;
+                    }
+                }
+                MemPhase::StorePending
+                    if self.fus.can_accept(FuClass::Memory, self.cycle) => {
+                        self.fus.accept(FuClass::Memory, self.cycle);
+                        self.window[i].dispatched = true;
+                        self.schedule(
+                            self.cycle + self.cfg.store_exec_latency,
+                            Event::StoreExec(seq),
+                        );
+                        paths -= 1;
+                    }
+                MemPhase::NotMem => {
+                    let fu = e.inst.fu_class().expect("ALU entry has a unit");
+                    let lat = self.cfg.fu_latency(fu);
+                    if self.fus.can_accept(fu, self.cycle) && self.bus.available(self.cycle + lat)
+                    {
+                        self.fus.accept(fu, self.cycle);
+                        self.bus.try_reserve(self.cycle + lat);
+                        let e = &mut self.window[i];
+                        let v = semantics::alu_result(
+                            e.inst.opcode,
+                            e.ops[0].value(),
+                            e.ops[1].value(),
+                            e.inst.imm,
+                        );
+                        e.result = Some(v);
+                        e.dispatched = true;
+                        self.schedule(self.cycle + lat, Event::Finish(seq));
+                        paths -= 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Commit is gated on the oldest unresolved branch: a speculative
+    /// instruction may execute but never update architectural state.
+    fn phase_commit(&mut self) {
+        let spec_boundary = self.branches.front().map(|b| b.seq);
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.window.front() else {
+                break;
+            };
+            if !head.executed {
+                break;
+            }
+            if let Some(boundary) = spec_boundary {
+                if head.seq > boundary {
+                    break;
+                }
+            }
+            let e = self.window.pop_front().expect("head exists");
+            if e.inst.is_store() {
+                let ea = e.ea.expect("executed store has an address");
+                self.mem.write(ea, e.ops[1].value());
+                self.lr.retire(e.seq);
+            }
+            if let Some(tag) = e.dst_tag {
+                let v = e.result.expect("executed producer has a result");
+                self.arch.set_reg(tag.reg, v);
+                self.ni[tag.reg.index()] -= 1;
+                self.gate_all(tag, v);
+            }
+            self.completed += 1;
+        }
+    }
+
+    /// Resolves the oldest branch whose condition value is available.
+    fn phase_resolve_branches(&mut self) {
+        while let Some(b) = self.branches.front() {
+            if !b.cond.is_ready() {
+                break;
+            }
+            let b = self.branches.pop_front().expect("front exists");
+            let actual = semantics::branch_taken(b.inst.opcode, b.cond.value());
+            if b.inst.opcode.is_cond_branch() {
+                self.predictor.update(b.pc, actual);
+            }
+            self.stats.branches += 1;
+            if actual {
+                self.stats.taken_branches += 1;
+            }
+            self.completed += 1;
+            if actual != b.assumed_taken {
+                debug_assert!(b.speculative, "a known-direction branch cannot mispredict");
+                self.spec.mispredicted += 1;
+                self.squash(&b);
+                break; // younger branches were squashed with everything else
+            }
+        }
+    }
+
+    /// Nullifies every instruction younger than the mispredicted branch
+    /// (paper §7: identify conditional instructions "and prevent them
+    /// from being committed until they are proven to be from a correct
+    /// path" — here they are removed outright).
+    fn squash(&mut self, b: &BranchRecord) {
+        // Window entries, youngest first (the load registers require
+        // youngest-first squash ordering).
+        let mut squashed: Vec<u64> = self
+            .window
+            .iter()
+            .filter(|e| e.seq > b.seq)
+            .map(|e| e.seq)
+            .collect();
+        squashed.sort_unstable_by(|a, c| c.cmp(a));
+        self.spec.nullified += squashed.len() as u64;
+        for &seq in &squashed {
+            self.lr.squash(seq);
+            // Undo the instance the squashed instruction acquired. (NI is
+            // repaired per entry rather than snapshot-restored: older
+            // instructions may have committed since the prediction, and
+            // their NI decrements must survive the squash.)
+            let i = self.pos(seq);
+            if let Some(tag) = self.window[i].dst_tag {
+                self.ni[tag.reg.index()] -= 1;
+            }
+        }
+        self.window.retain(|e| e.seq <= b.seq);
+        self.mem_queue.retain(|&s| s <= b.seq);
+        self.forward_queue.retain(|&s| s <= b.seq);
+        for evs in self.events.values_mut() {
+            evs.retain(|ev| match ev {
+                Event::Finish(s) | Event::StoreExec(s) => *s <= b.seq,
+            });
+        }
+        self.events.retain(|_, evs| !evs.is_empty());
+        self.branches.clear(); // all younger than b
+
+        // Restore the rename state from the branch's snapshot.
+        self.li = b.li;
+        self.ff = b.ff;
+
+        // Redirect fetch to the repair path.
+        self.pc = b.repair_pc;
+        self.halted = false;
+        self.next_fetch_cycle = self.cycle + 1 + self.cfg.mispredict_penalty;
+    }
+
+    fn read_operand(&self, r: Reg) -> Operand {
+        if self.ni[r.index()] == 0 {
+            return Operand::Ready(self.arch.reg(r));
+        }
+        let tag = Tag {
+            reg: r,
+            instance: self.li[r.index()] & self.tag_mask(),
+        };
+        if let Some(v) = self.broadcasts.lookup(tag) {
+            return Operand::Ready(v);
+        }
+        match self.bypass {
+            Bypass::Full => {
+                match self
+                    .window
+                    .iter()
+                    .find(|e| e.dst_tag == Some(tag) && e.executed)
+                {
+                    Some(e) => Operand::Ready(e.result.expect("executed producer has a result")),
+                    None => Operand::Waiting(tag),
+                }
+            }
+            Bypass::None => Operand::Waiting(tag),
+            Bypass::LimitedA => {
+                if r.is_a() {
+                    let ff = self.ff[r.num() as usize];
+                    if ff.valid {
+                        Operand::Ready(ff.value)
+                    } else {
+                        Operand::Waiting(tag)
+                    }
+                } else {
+                    Operand::Waiting(tag)
+                }
+            }
+        }
+    }
+
+    fn phase_issue(&mut self) -> Result<(), SimError> {
+        if self.halted {
+            self.stats.stall(StallReason::Drained);
+            return Ok(());
+        }
+        if self.cycle < self.next_fetch_cycle {
+            self.stats.stall(StallReason::DeadCycle);
+            return Ok(());
+        }
+        let Some(&inst) = self.program.get(self.pc) else {
+            self.halted = true;
+            return Ok(());
+        };
+        if inst.is_halt() {
+            self.halted = true;
+            return Ok(());
+        }
+        if self.completed >= self.limit {
+            return Err(SimError::InstLimit { limit: self.limit });
+        }
+
+        if inst.is_branch() {
+            let cond = match inst.src1 {
+                Some(r) => self.read_operand(r),
+                None => Operand::Ready(0),
+            };
+            let target = inst.target.expect("branch has a target");
+            // Decide the fetch direction: the actual outcome if the
+            // condition is already known, the predictor's guess
+            // otherwise. Either way the branch is *counted* only when it
+            // reaches the front of the record queue — it may itself be
+            // sitting on an older branch's wrong path.
+            let (assumed_taken, speculative) = match cond {
+                Operand::Ready(v) => {
+                    let taken = if inst.opcode == Opcode::Jump {
+                        true
+                    } else {
+                        semantics::branch_taken(inst.opcode, v)
+                    };
+                    (taken, false)
+                }
+                Operand::Waiting(_) => {
+                    self.spec.predicted += 1;
+                    (self.predictor.predict(self.pc, target), true)
+                }
+            };
+            let (next_pc, repair_pc, bubble) = if assumed_taken {
+                (
+                    target,
+                    self.pc + 1,
+                    if speculative {
+                        self.cfg.spec_taken_bubble
+                    } else {
+                        self.cfg.branch_taken_penalty
+                    },
+                )
+            } else {
+                (
+                    self.pc + 1,
+                    target,
+                    if speculative {
+                        0
+                    } else {
+                        self.cfg.branch_untaken_penalty
+                    },
+                )
+            };
+            self.branches.push_back(BranchRecord {
+                seq: self.seq_counter,
+                pc: self.pc,
+                inst,
+                assumed_taken,
+                speculative,
+                cond,
+                repair_pc,
+                li: self.li,
+                ff: self.ff,
+            });
+            self.seq_counter += 1;
+            self.pc = next_pc;
+            self.next_fetch_cycle = self.cycle + 1 + bubble;
+            self.stats.issue_cycles += 1;
+            return Ok(());
+        }
+
+        if self.window.len() >= self.capacity {
+            self.stats.stall(StallReason::WindowFull);
+            return Ok(());
+        }
+        if let Some(d) = inst.dst {
+            if self.ni[d.index()] >= self.cfg.max_instances() {
+                self.stats.stall(StallReason::RegInstanceLimit);
+                return Ok(());
+            }
+        }
+        if inst.is_mem() && self.lr.is_full() {
+            self.stats.stall(StallReason::LoadRegFull);
+            return Ok(());
+        }
+
+        let ops = [
+            inst.src1
+                .map_or(Operand::Ready(0), |r| self.read_operand(r)),
+            inst.src2
+                .map_or(Operand::Ready(0), |r| self.read_operand(r)),
+        ];
+        let dst_tag = inst.dst.map(|d| {
+            self.ni[d.index()] += 1;
+            self.li[d.index()] += 1;
+            if d.is_a() {
+                self.ff[d.num() as usize].valid = false;
+            }
+            Tag {
+                reg: d,
+                instance: self.li[d.index()] & self.tag_mask(),
+            }
+        });
+        let seq = self.seq_counter;
+        self.seq_counter += 1;
+        let is_mem = inst.is_mem();
+        let no_fu = inst.fu_class().is_none();
+        self.window.push_back(Entry {
+            seq,
+            inst,
+            dst_tag,
+            ops,
+            dispatched: no_fu,
+            executed: no_fu,
+            result: None,
+            ea: None,
+            mem_phase: if is_mem {
+                MemPhase::AwaitingLr
+            } else {
+                MemPhase::NotMem
+            },
+            lr_provider: false,
+        });
+        if is_mem {
+            self.mem_queue.push_back(seq);
+        }
+        self.stats.issue_cycles += 1;
+        self.pc += 1;
+        Ok(())
+    }
+
+    fn drained(&self) -> bool {
+        self.halted
+            && self.window.is_empty()
+            && self.branches.is_empty()
+            && self.mem_queue.is_empty()
+            && self.forward_queue.is_empty()
+            && self.events.is_empty()
+    }
+
+    fn run(&mut self) -> Result<SpecRunResult, SimError> {
+        loop {
+            self.broadcasts.clear();
+            self.stats.observe_occupancy(self.window.len() as u32);
+
+            self.phase_completions();
+            self.phase_addr_gen();
+            self.phase_forwards();
+            self.phase_dispatch();
+            self.phase_commit();
+            self.phase_resolve_branches();
+            self.phase_issue()?;
+
+            let progress = (self.completed + self.seq_counter, self.events_scheduled);
+            if progress != self.last_progress {
+                self.last_progress = progress;
+                self.last_progress_cycle = self.cycle;
+            } else if self.cycle - self.last_progress_cycle > 100_000 {
+                return Err(SimError::Deadlock { cycle: self.cycle });
+            }
+
+            if self.drained() {
+                self.cycle += 1;
+                break;
+            }
+            self.cycle += 1;
+            if self.cycle.is_multiple_of(4096) {
+                self.bus.release_before(self.cycle);
+            }
+        }
+        let mut state = self.arch.clone();
+        state.pc = self.pc;
+        Ok(SpecRunResult {
+            run: RunResult {
+                cycles: self.cycle,
+                instructions: self.completed,
+                state,
+                memory: self.mem.clone(),
+                stats: std::mem::take(&mut self.stats),
+            },
+            spec: std::mem::take(&mut self.spec),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::{AlwaysTaken, Btfn, TwoBit};
+    use crate::ruu::Ruu;
+    use ruu_exec::Trace;
+    use ruu_isa::Asm;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::paper()
+    }
+
+    fn loop_prog() -> Program {
+        let mut a = Asm::new("t");
+        let top = a.new_label();
+        a.a_imm(Reg::a(0), 25);
+        a.a_imm(Reg::a(1), 100);
+        a.bind(top);
+        a.ld_s(Reg::s(1), Reg::a(1), 0);
+        a.f_add(Reg::s(2), Reg::s(1), Reg::s(2));
+        a.st_s(Reg::s(2), Reg::a(1), 64);
+        a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+        a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+        a.br_an(top);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn matches_golden_with_every_predictor() {
+        let p = loop_prog();
+        let g = Trace::capture(&p, Memory::new(1 << 12), 1_000_000).unwrap();
+        let sim = SpecRuu::new(cfg(), 16, Bypass::Full);
+        let mut preds: Vec<Box<dyn Predictor>> = vec![
+            Box::new(AlwaysTaken),
+            Box::new(Btfn),
+            Box::new(TwoBit::default()),
+        ];
+        for p_ in &mut preds {
+            let r = sim
+                .run(&p, Memory::new(1 << 12), 1_000_000, p_.as_mut())
+                .unwrap();
+            assert_eq!(&r.run.state, g.final_state(), "{}", p_.name());
+            assert_eq!(&r.run.memory, g.final_memory(), "{}", p_.name());
+            assert_eq!(r.run.instructions, g.len() as u64, "{}", p_.name());
+        }
+    }
+
+    #[test]
+    fn speculation_beats_the_blocking_ruu_when_conditions_are_slow() {
+        // The branch condition comes from a load, so the non-speculative
+        // machine parks in decode every iteration while the predictor
+        // sails through.
+        let mut a = Asm::new("t");
+        let top = a.new_label();
+        let done = a.new_label();
+        a.a_imm(Reg::a(1), 0); // index
+        a.bind(top);
+        a.ld_a(Reg::a(0), Reg::a(1), 600); // condition from memory (slow)
+        a.ld_s(Reg::s(2), Reg::a(1), 200);
+        a.f_mul(Reg::s(2), Reg::s(2), Reg::s(2));
+        a.st_s(Reg::s(2), Reg::a(1), 400);
+        a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+        a.br_az(done); // waits on the load in the blocking machine
+        a.jump(top);
+        a.bind(done);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut mem = Memory::new(1 << 12);
+        for i in 0..40 {
+            mem.write(600 + i, 1); // loop continues while nonzero
+        }
+        mem.write(640, 0);
+
+        let base = Ruu::new(cfg(), 16, Bypass::Full)
+            .run(&p, mem.clone(), 1_000_000)
+            .unwrap();
+        let mut pred = TwoBit::default();
+        let spec = SpecRuu::new(cfg(), 16, Bypass::Full)
+            .run(&p, mem.clone(), 1_000_000, &mut pred)
+            .unwrap();
+        assert_eq!(spec.run.state.regs, base.state.regs);
+        assert_eq!(spec.run.memory, base.memory);
+        assert!(
+            spec.run.cycles < base.cycles,
+            "spec {} vs blocking {}",
+            spec.run.cycles,
+            base.cycles
+        );
+        assert!(spec.spec.predicted > 0);
+        // The exit iteration (br_az finally taken) is the misprediction.
+        assert!(spec.spec.mispredicted >= 1);
+        assert!(spec.spec.nullified > 0);
+    }
+
+    #[test]
+    fn mispredictions_are_architecturally_invisible() {
+        // An alternating, slowly-resolving branch direction defeats the
+        // predictor regularly; the final state must still be golden.
+        let mut a = Asm::new("t2");
+        let top = a.new_label();
+        let skip = a.new_label();
+        a.a_imm(Reg::a(7), 20); // loop count in A7
+        a.a_imm(Reg::a(1), 0);
+        a.bind(top);
+        a.ld_a(Reg::a(0), Reg::a(1), 500); // alternating 0/1, slow
+        a.br_az(skip);
+        a.s_imm(Reg::s(1), 7);
+        a.st_s(Reg::s(1), Reg::a(1), 300);
+        a.bind(skip);
+        a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+        a.a_sub_imm(Reg::a(7), Reg::a(7), 1);
+        a.a_add_imm(Reg::a(0), Reg::a(7), 0);
+        a.br_an(top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut mem = Memory::new(1 << 12);
+        for i in 0..20 {
+            mem.write(500 + i, i % 2);
+        }
+        let g = Trace::capture(&p, mem.clone(), 1_000_000).unwrap();
+        for bypass in [Bypass::Full, Bypass::None, Bypass::LimitedA] {
+            let mut pred = TwoBit::default();
+            let r = SpecRuu::new(cfg(), 12, bypass)
+                .run(&p, mem.clone(), 1_000_000, &mut pred)
+                .unwrap();
+            assert_eq!(&r.run.state, g.final_state(), "{bypass:?}");
+            assert_eq!(&r.run.memory, g.final_memory(), "{bypass:?}");
+            assert!(r.spec.mispredicted > 0, "{bypass:?} must mispredict");
+        }
+    }
+
+    #[test]
+    fn livermore_kernel_runs_speculatively_and_verifies() {
+        let w = ruu_workloads::livermore::lll5();
+        let mut pred = TwoBit::default();
+        let r = SpecRuu::new(cfg(), 16, Bypass::Full)
+            .run(&w.program, w.memory.clone(), w.inst_limit, &mut pred)
+            .unwrap();
+        w.verify(&r.run.memory).unwrap();
+    }
+}

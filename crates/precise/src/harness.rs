@@ -1,0 +1,179 @@
+//! The precise-interrupt check: inject, recover, compare, resume.
+
+use ruu_exec::{golden_state_at, Memory, Trace};
+use ruu_isa::Program;
+use ruu_issue::{Bypass, Ruu, RunOutcome, SimError};
+use ruu_sim_core::MachineConfig;
+
+/// Outcome of one injected-exception experiment.
+#[derive(Debug, Clone)]
+pub struct PrecisionReport {
+    /// Dynamic index of the faulting instruction.
+    pub fault_seq: u64,
+    /// The recovered register state equals the golden interpreter's state
+    /// after exactly `fault_seq` instructions.
+    pub state_precise: bool,
+    /// The recovered memory equals the golden memory at the boundary.
+    pub memory_precise: bool,
+    /// The recovered pc equals the faulting instruction's pc.
+    pub pc_precise: bool,
+    /// After resuming from the recovered state, the program's final state
+    /// and memory equal an uninterrupted golden run.
+    pub resume_exact: bool,
+    /// Cycle at which the interrupt was taken.
+    pub interrupt_cycle: u64,
+}
+
+impl PrecisionReport {
+    /// `true` only if every check passed.
+    #[must_use]
+    pub fn all_precise(&self) -> bool {
+        self.state_precise && self.memory_precise && self.pc_precise && self.resume_exact
+    }
+}
+
+/// Error from a [`PrecisionCheck`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The underlying simulation failed.
+    Sim(SimError),
+    /// The designated instruction never reached the commit point (e.g.
+    /// the index was out of range or named a branch).
+    FaultNeverTaken {
+        /// The requested fault index.
+        fault_seq: u64,
+    },
+    /// The golden interpreter could not execute the program.
+    Golden(ruu_exec::ExecError),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CheckError::FaultNeverTaken { fault_seq } => {
+                write!(f, "instruction {fault_seq} never reached the commit point")
+            }
+            CheckError::Golden(e) => write!(f, "golden execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Configuration of a precise-interrupt experiment on the RUU.
+#[derive(Debug, Clone)]
+pub struct PrecisionCheck {
+    /// Machine configuration.
+    pub config: MachineConfig,
+    /// RUU entries.
+    pub entries: usize,
+    /// RUU bypass policy.
+    pub bypass: Bypass,
+    /// Dynamic-instruction budget.
+    pub inst_limit: u64,
+}
+
+impl PrecisionCheck {
+    /// A check with the paper's machine and a mid-sized RUU.
+    #[must_use]
+    pub fn new(entries: usize, bypass: Bypass) -> Self {
+        PrecisionCheck {
+            config: MachineConfig::paper(),
+            entries,
+            bypass,
+            inst_limit: 10_000_000,
+        }
+    }
+
+    /// Runs `program` with an exception injected at dynamic instruction
+    /// `fault_seq`, checks the recovered state against the golden
+    /// boundary, resumes, and checks the final state.
+    ///
+    /// # Errors
+    /// See [`CheckError`].
+    pub fn run(
+        &self,
+        program: &Program,
+        mem: &Memory,
+        fault_seq: u64,
+    ) -> Result<PrecisionReport, CheckError> {
+        let sim = Ruu::new(self.config.clone(), self.entries, self.bypass);
+        let outcome = sim
+            .run_with_exception(program, mem.clone(), self.inst_limit, fault_seq)
+            .map_err(CheckError::Sim)?;
+        let frame = match outcome {
+            RunOutcome::Interrupted(frame) => frame,
+            RunOutcome::Completed(_) => {
+                return Err(CheckError::FaultNeverTaken { fault_seq });
+            }
+        };
+
+        let (golden_state, golden_mem) =
+            golden_state_at(program, mem.clone(), fault_seq).map_err(CheckError::Golden)?;
+        let state_precise = frame.state.regs == golden_state.regs;
+        let memory_precise = frame.memory == golden_mem;
+        let pc_precise = frame.state.pc == golden_state.pc;
+
+        // "Handle" the fault (the model fault needs no state change — a
+        // page fault would map the page) and restart from the frame.
+        let resumed = sim
+            .run_from(frame.state, frame.memory, program, self.inst_limit)
+            .map_err(CheckError::Sim)?;
+        let golden_final =
+            Trace::capture(program, mem.clone(), self.inst_limit).map_err(CheckError::Golden)?;
+        let resume_exact = resumed.state.regs == golden_final.final_state().regs
+            && &resumed.memory == golden_final.final_memory();
+
+        Ok(PrecisionReport {
+            fault_seq,
+            state_precise,
+            memory_precise,
+            pc_precise,
+            resume_exact,
+            interrupt_cycle: frame.cycle,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruu_workloads::livermore;
+
+    #[test]
+    fn interrupts_on_a_livermore_loop_are_precise() {
+        let w = livermore::lll5();
+        let check = PrecisionCheck::new(12, Bypass::Full);
+        for fault_seq in [10, 57, 333] {
+            let r = check.run(&w.program, &w.memory, fault_seq).unwrap();
+            assert!(r.all_precise(), "fault at {fault_seq}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn all_bypass_modes_are_precise() {
+        let w = livermore::lll12();
+        for bypass in [Bypass::Full, Bypass::None, Bypass::LimitedA] {
+            let check = PrecisionCheck::new(8, bypass);
+            let r = check.run(&w.program, &w.memory, 101).unwrap();
+            assert!(r.all_precise(), "{bypass:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn fault_on_branch_reports_never_taken() {
+        // Dynamic index 6 in this program is the loop branch.
+        let mut a = ruu_isa::Asm::new("t");
+        let top = a.new_label();
+        a.a_imm(ruu_isa::Reg::a(0), 3);
+        a.bind(top);
+        a.a_sub_imm(ruu_isa::Reg::a(0), ruu_isa::Reg::a(0), 1);
+        a.br_an(top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let check = PrecisionCheck::new(8, Bypass::Full);
+        let err = check.run(&p, &Memory::new(1 << 8), 2).unwrap_err();
+        assert!(matches!(err, CheckError::FaultNeverTaken { fault_seq: 2 }));
+    }
+}

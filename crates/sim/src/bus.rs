@@ -1,0 +1,107 @@
+//! Future-cycle slot reservation (the result bus).
+//!
+//! In the model architecture the result bus is reserved *at dispatch time*
+//! (paper §3.1, §5.1: "The RUU reserves the result bus when it issues an
+//! instruction to the functional units"): an instruction with latency `L`
+//! dispatched at cycle `t` books the bus for cycle `t + L`, and dispatch
+//! stalls if that future slot is already taken.
+
+use std::collections::BTreeMap;
+
+/// Books up to `capacity` slots per future cycle.
+#[derive(Debug, Clone)]
+pub struct SlotReservation {
+    capacity: u32,
+    booked: BTreeMap<u64, u32>,
+}
+
+impl SlotReservation {
+    /// Creates a reservation table with `capacity` slots per cycle.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "slot capacity must be positive");
+        SlotReservation {
+            capacity,
+            booked: BTreeMap::new(),
+        }
+    }
+
+    /// Slots per cycle.
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// `true` if a slot at `cycle` is still available.
+    #[must_use]
+    pub fn available(&self, cycle: u64) -> bool {
+        self.booked.get(&cycle).copied().unwrap_or(0) < self.capacity
+    }
+
+    /// Books a slot at `cycle` if one is available.
+    pub fn try_reserve(&mut self, cycle: u64) -> bool {
+        let e = self.booked.entry(cycle).or_insert(0);
+        if *e < self.capacity {
+            *e += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Discards bookings strictly before `cycle` (bookkeeping only; call
+    /// occasionally to keep the table small on long runs).
+    pub fn release_before(&mut self, cycle: u64) {
+        self.booked = self.booked.split_off(&cycle);
+    }
+
+    /// Number of slots booked at `cycle`.
+    #[must_use]
+    pub fn booked_at(&self, cycle: u64) -> u32 {
+        self.booked.get(&cycle).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_capacity_excludes_second_booking() {
+        let mut b = SlotReservation::new(1);
+        assert!(b.try_reserve(10));
+        assert!(!b.try_reserve(10));
+        assert!(b.try_reserve(11));
+        assert!(!b.available(10));
+        assert!(b.available(12));
+    }
+
+    #[test]
+    fn multi_capacity() {
+        let mut b = SlotReservation::new(2);
+        assert!(b.try_reserve(5));
+        assert!(b.try_reserve(5));
+        assert!(!b.try_reserve(5));
+        assert_eq!(b.booked_at(5), 2);
+    }
+
+    #[test]
+    fn release_before_trims_history() {
+        let mut b = SlotReservation::new(1);
+        b.try_reserve(1);
+        b.try_reserve(2);
+        b.try_reserve(3);
+        b.release_before(3);
+        assert_eq!(b.booked_at(1), 0);
+        assert_eq!(b.booked_at(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = SlotReservation::new(0);
+    }
+}

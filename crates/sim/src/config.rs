@@ -1,0 +1,169 @@
+//! Machine-wide configuration of the model architecture.
+
+use ruu_isa::FuClass;
+
+/// Parameters of the model architecture (paper §2, DESIGN.md §3).
+///
+/// The defaults reproduce the paper's machine: CRAY-1 functional-unit
+/// times, a single result bus, one instruction decoded per cycle, six load
+/// registers, 3-bit NI/LI instance counters, and branch dead cycles after
+/// every branch.
+///
+/// `MachineConfig` is a plain, public-field record: it is the experiment
+/// knob surface, and the sweep harnesses construct many variants of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Latency (clock periods from dispatch to result-bus appearance) per
+    /// functional-unit class, indexed by [`FuClass::index`].
+    pub latency: [u64; FuClass::ALL.len()],
+    /// Dead cycles after a taken branch before the next instruction can
+    /// enter the decode/issue stage.
+    pub branch_taken_penalty: u64,
+    /// Dead cycles after a not-taken conditional branch.
+    pub branch_untaken_penalty: u64,
+    /// Number of results the result bus can carry per cycle. The model
+    /// architecture has exactly one (paper §2: "only one functional unit
+    /// can output data onto the result bus in any clock cycle").
+    pub result_buses: u32,
+    /// Instructions the window (RSTU/RUU) may send to the functional units
+    /// per cycle — the "data paths" of paper Table 3.
+    pub dispatch_paths: u32,
+    /// Instructions the RUU may commit (retire to the register file) per
+    /// cycle over the RUU→register-file bus.
+    pub commit_width: u32,
+    /// Number of load registers (paper §5.1 uses 6; 4 sufficed).
+    pub load_registers: usize,
+    /// Width in bits of the per-register NI/LI instance counters
+    /// (paper §5.1 uses 3: up to 7 simultaneous instances).
+    pub counter_bits: u32,
+    /// Cycles from "forwarding data known" to its result-bus broadcast for
+    /// loads satisfied from the load registers rather than memory.
+    pub forward_latency: u64,
+    /// Cycles for a store to be considered executed (address/data handed
+    /// to the memory port) once dispatched; the architectural memory write
+    /// itself happens at completion (RSTU) or commit (RUU).
+    pub store_exec_latency: u64,
+    /// Fetch bubble after a predicted-taken branch in the speculative
+    /// machine (§7 extension): the cost of redirecting fetch to a
+    /// predicted target.
+    pub spec_taken_bubble: u64,
+    /// Dead cycles charged when a misprediction is repaired (§7
+    /// extension).
+    pub mispredict_penalty: u64,
+    /// Data-memory size in 64-bit words (must be a power of two).
+    pub memory_words: usize,
+}
+
+impl MachineConfig {
+    /// The paper's model architecture.
+    #[must_use]
+    pub fn paper() -> Self {
+        let mut latency = [0; FuClass::ALL.len()];
+        for fu in FuClass::ALL {
+            latency[fu.index()] = fu.default_latency();
+        }
+        MachineConfig {
+            latency,
+            branch_taken_penalty: 3,
+            branch_untaken_penalty: 1,
+            result_buses: 1,
+            dispatch_paths: 1,
+            commit_width: 1,
+            load_registers: 6,
+            counter_bits: 3,
+            forward_latency: 1,
+            store_exec_latency: 1,
+            spec_taken_bubble: 1,
+            mispredict_penalty: 3,
+            memory_words: 1 << 16,
+        }
+    }
+
+    /// Latency of a functional-unit class under this configuration.
+    #[must_use]
+    pub fn fu_latency(&self, fu: FuClass) -> u64 {
+        self.latency[fu.index()]
+    }
+
+    /// Maximum simultaneous instances of one destination register the
+    /// NI/LI counters allow: `2^counter_bits - 1` (paper §5.1).
+    #[must_use]
+    pub fn max_instances(&self) -> u32 {
+        (1u32 << self.counter_bits) - 1
+    }
+
+    /// Returns a copy with a different number of dispatch paths
+    /// (paper Table 3 uses 2).
+    #[must_use]
+    pub fn with_dispatch_paths(mut self, paths: u32) -> Self {
+        assert!(paths >= 1, "at least one dispatch path is required");
+        self.dispatch_paths = paths;
+        self
+    }
+
+    /// Returns a copy with a different number of load registers.
+    #[must_use]
+    pub fn with_load_registers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one load register is required");
+        self.load_registers = n;
+        self
+    }
+
+    /// Returns a copy with a different NI/LI counter width.
+    #[must_use]
+    pub fn with_counter_bits(mut self, bits: u32) -> Self {
+        assert!(
+            (1..=8).contains(&bits),
+            "counter width must be 1..=8 bits, got {bits}"
+        );
+        self.counter_bits = bits;
+        self
+    }
+
+    /// Returns a copy with a different result-bus count (ablation A4).
+    #[must_use]
+    pub fn with_result_buses(mut self, n: u32) -> Self {
+        assert!(n >= 1, "at least one result bus is required");
+        self.result_buses = n;
+        self
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = MachineConfig::paper();
+        assert_eq!(c.fu_latency(FuClass::FloatMul), 7);
+        assert_eq!(c.result_buses, 1);
+        assert_eq!(c.load_registers, 6);
+        assert_eq!(c.max_instances(), 7);
+    }
+
+    #[test]
+    fn builders() {
+        let c = MachineConfig::paper()
+            .with_dispatch_paths(2)
+            .with_load_registers(4)
+            .with_counter_bits(2)
+            .with_result_buses(2);
+        assert_eq!(c.dispatch_paths, 2);
+        assert_eq!(c.load_registers, 4);
+        assert_eq!(c.max_instances(), 3);
+        assert_eq!(c.result_buses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn counter_bits_validated() {
+        let _ = MachineConfig::paper().with_counter_bits(0);
+    }
+}

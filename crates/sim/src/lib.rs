@@ -1,0 +1,28 @@
+//! # ruu-sim-core — timing-simulation substrate
+//!
+//! Shared building blocks for the cycle-level issue-mechanism simulators in
+//! `ruu-issue`:
+//!
+//! * [`MachineConfig`] — latencies, branch penalties, bus widths and other
+//!   machine parameters of the model architecture (paper §2, Figure 1);
+//! * [`SlotReservation`] — future-cycle slot booking, used for the single
+//!   result bus (reserved at dispatch time, paper §3.1/§5.1);
+//! * [`FuPool`] — the fully pipelined functional units, each able to accept
+//!   one operation per cycle;
+//! * [`LoadRegUnit`] — the *load registers* of paper §3.2.1.2: memory
+//!   disambiguation by exact address match, with store→load and load→load
+//!   data forwarding;
+//! * [`RunStats`] / [`RunResult`] — issue-rate accounting and stall
+//!   breakdowns common to every simulator.
+
+mod bus;
+mod config;
+mod fu;
+mod loadregs;
+mod stats;
+
+pub use bus::SlotReservation;
+pub use config::MachineConfig;
+pub use fu::FuPool;
+pub use loadregs::{LoadRegUnit, LrOutcome, MemOpKind, OpId};
+pub use stats::{RunResult, RunStats, StallReason};

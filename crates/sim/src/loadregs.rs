@@ -1,0 +1,529 @@
+//! Load registers: memory disambiguation and forwarding (paper §3.2.1.2).
+//!
+//! The load registers hold the addresses of "currently active" memory
+//! locations. Memory operations present their addresses **in program
+//! order** (the caller enforces this: "if the address of a load/store
+//! operation is unavailable, subsequent load/store instructions are not
+//! allowed to proceed"). Each operation is matched associatively against
+//! the load registers:
+//!
+//! * a **load** that matches a busy entry is *not* submitted to memory —
+//!   its data comes from the entry's current *provider* (a pending store's
+//!   data, or a pending load's memory response) when that data is known;
+//! * a **load** with no match allocates an entry, goes to memory, and
+//!   becomes the entry's provider;
+//! * a **store** that matches updates the entry's provider to itself; with
+//!   no match it allocates an entry;
+//! * an operation blocks (and the caller must retry) when no entry is free.
+//!
+//! An entry is freed when every operation that touched it has retired
+//! ("a load register is free if there are no pending load or store
+//! instructions to the memory address").
+
+use std::collections::HashMap;
+
+/// Identifier of a dynamic memory operation (the simulators use the
+/// dynamic instruction sequence number).
+pub type OpId = u64;
+
+/// Whether a memory operation reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOpKind {
+    /// A memory read.
+    Load,
+    /// A memory write.
+    Store,
+}
+
+/// What the load-register unit decided for a processed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LrOutcome {
+    /// Load: no pending operation on this address — submit to memory.
+    /// The load is now the address's provider.
+    ToMemory,
+    /// Load: the address's current data is already known; forward it.
+    Forwarded {
+        /// The forwarded data value.
+        value: u64,
+    },
+    /// Load: wait until `provider`'s data is announced via
+    /// [`LoadRegUnit::provider_ready`].
+    WaitOn {
+        /// The operation that will produce this load's data.
+        provider: OpId,
+    },
+    /// Store: recorded; the store is now the address's provider.
+    StoreRecorded,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    addr: u64,
+    /// Operations (loads and stores) still pending on this address.
+    count: u32,
+    /// Pending data definers for this address, oldest first; the last is
+    /// the current provider. Empty means the architectural memory is
+    /// current. A stack (rather than one slot) so that squashing a
+    /// speculative store reverts to the still-pending older definer, and
+    /// retiring an old definer leaves a newer one in charge.
+    providers: Vec<OpId>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ProviderState {
+    value: Option<u64>,
+    waiters: Vec<OpId>,
+}
+
+/// The load-register unit (paper §3.2.1.2 and §5.1; 6 entries by default).
+#[derive(Debug, Clone)]
+pub struct LoadRegUnit {
+    entries: Vec<Option<Entry>>,
+    providers: HashMap<OpId, ProviderState>,
+    op_entry: HashMap<OpId, (usize, MemOpKind)>,
+}
+
+impl LoadRegUnit {
+    /// Creates a unit with `n` load registers.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "at least one load register is required");
+        LoadRegUnit {
+            entries: vec![None; n],
+            providers: HashMap::new(),
+            op_entry: HashMap::new(),
+        }
+    }
+
+    /// Number of free load registers.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_none()).count()
+    }
+
+    /// `true` if every load register is busy.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.free_count() == 0
+    }
+
+    fn find(&self, addr: u64) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.addr == addr))
+    }
+
+    /// Presents operation `op` (with known effective address `addr`) to
+    /// the load registers. Must be called in program order across memory
+    /// operations, exactly once per operation.
+    ///
+    /// Returns `None` if the operation needs a new entry but none is free;
+    /// the caller must retry next cycle (issue is blocked, paper
+    /// §3.2.1.2).
+    pub fn process(&mut self, op: OpId, kind: MemOpKind, addr: u64) -> Option<LrOutcome> {
+        debug_assert!(
+            !self.op_entry.contains_key(&op),
+            "op {op} processed twice by the load registers"
+        );
+        let slot = match self.find(addr) {
+            Some(slot) => slot,
+            None => {
+                let slot = self.entries.iter().position(|e| e.is_none())?;
+                self.entries[slot] = Some(Entry {
+                    addr,
+                    count: 0,
+                    providers: Vec::new(),
+                });
+                slot
+            }
+        };
+        let entry = self.entries[slot].as_mut().expect("slot just ensured");
+        entry.count += 1;
+        self.op_entry.insert(op, (slot, kind));
+
+        match kind {
+            MemOpKind::Store => {
+                entry.providers.push(op);
+                self.providers.insert(op, ProviderState::default());
+                Some(LrOutcome::StoreRecorded)
+            }
+            MemOpKind::Load => match entry.providers.last().copied() {
+                None => {
+                    entry.providers.push(op);
+                    self.providers.insert(op, ProviderState::default());
+                    Some(LrOutcome::ToMemory)
+                }
+                Some(p) => {
+                    let ps = self
+                        .providers
+                        .get_mut(&p)
+                        .expect("live provider has state");
+                    match ps.value {
+                        Some(v) => Some(LrOutcome::Forwarded { value: v }),
+                        None => {
+                            ps.waiters.push(op);
+                            Some(LrOutcome::WaitOn { provider: p })
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Announces that `provider`'s data value is now known (a store's
+    /// operands became ready, or a load's memory response arrived).
+    /// Returns the loads that were waiting on it; each receives `value`.
+    ///
+    /// # Panics
+    /// Panics if `provider` is not a live provider.
+    pub fn provider_ready(&mut self, provider: OpId, value: u64) -> Vec<OpId> {
+        let ps = self
+            .providers
+            .get_mut(&provider)
+            .expect("provider_ready called for unknown provider");
+        debug_assert!(ps.value.is_none(), "provider {provider} announced twice");
+        ps.value = Some(value);
+        std::mem::take(&mut ps.waiters)
+    }
+
+    /// Removes a *speculative* operation that is being nullified (branch
+    /// misprediction squash). Any waiter of `op` is necessarily younger
+    /// (providers are assigned in program order) and is being squashed by
+    /// the same event — callers must squash in descending sequence order
+    /// (youngest first) so waiters disappear before their providers; `op`
+    /// is also dropped from other providers' waiter lists. A no-op if
+    /// `op` was never processed.
+    pub fn squash(&mut self, op: OpId) {
+        let Some((slot, _)) = self.op_entry.remove(&op) else {
+            return;
+        };
+        if let Some(ps) = self.providers.remove(&op) {
+            debug_assert!(
+                ps.waiters.is_empty() || ps.value.is_some(),
+                "unwoken waiters of a squashed provider must be squashed too"
+            );
+        }
+        for ps in self.providers.values_mut() {
+            ps.waiters.retain(|w| *w != op);
+        }
+        let entry = self.entries[slot].as_mut().expect("entry is live");
+        entry.providers.retain(|p| *p != op);
+        entry.count -= 1;
+        if entry.count == 0 {
+            self.entries[slot] = None;
+        }
+    }
+
+    /// Marks `op` as finished with the memory system (its broadcast is
+    /// done / its memory write is performed). Frees the entry once no
+    /// operation is pending on the address.
+    ///
+    /// # Panics
+    /// Panics if `op` was never processed.
+    pub fn retire(&mut self, op: OpId) {
+        let (slot, kind) = self
+            .op_entry
+            .remove(&op)
+            .expect("retire called for unprocessed op");
+        self.providers.remove(&op);
+        let entry = self.entries[slot].as_mut().expect("entry is live");
+        match kind {
+            // A retiring store has written the architectural memory: it
+            // leaves the definer stack, and so does everything *older*
+            // beneath it — an older pending load's data is now stale with
+            // respect to memory and must not be forwarded to new readers.
+            // (Its already-attached waiters are older than the store and
+            // correctly keep its value.)
+            MemOpKind::Store => {
+                if let Some(idx) = entry.providers.iter().position(|p| *p == op) {
+                    entry.providers.drain(..=idx);
+                }
+            }
+            // A retiring load changed nothing; newer definers (if any)
+            // stay in charge.
+            MemOpKind::Load => entry.providers.retain(|p| *p != op),
+        }
+        entry.count -= 1;
+        if entry.count == 0 {
+            self.entries[slot] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_with_no_match_goes_to_memory() {
+        let mut lr = LoadRegUnit::new(2);
+        assert_eq!(lr.process(1, MemOpKind::Load, 100), Some(LrOutcome::ToMemory));
+        assert_eq!(lr.free_count(), 1);
+        lr.provider_ready(1, 42);
+        lr.retire(1);
+        assert_eq!(lr.free_count(), 2);
+    }
+
+    #[test]
+    fn load_after_pending_store_waits_then_forwards() {
+        let mut lr = LoadRegUnit::new(2);
+        assert_eq!(
+            lr.process(1, MemOpKind::Store, 100),
+            Some(LrOutcome::StoreRecorded)
+        );
+        assert_eq!(
+            lr.process(2, MemOpKind::Load, 100),
+            Some(LrOutcome::WaitOn { provider: 1 })
+        );
+        let woken = lr.provider_ready(1, 7);
+        assert_eq!(woken, vec![2]);
+        // a later load sees the value immediately
+        assert_eq!(
+            lr.process(3, MemOpKind::Load, 100),
+            Some(LrOutcome::Forwarded { value: 7 })
+        );
+        lr.retire(1);
+        lr.retire(2);
+        lr.retire(3);
+        assert!(lr.free_count() == 2);
+    }
+
+    #[test]
+    fn load_load_sharing() {
+        let mut lr = LoadRegUnit::new(1);
+        assert_eq!(lr.process(1, MemOpKind::Load, 5), Some(LrOutcome::ToMemory));
+        assert_eq!(
+            lr.process(2, MemOpKind::Load, 5),
+            Some(LrOutcome::WaitOn { provider: 1 })
+        );
+        assert_eq!(lr.provider_ready(1, 11), vec![2]);
+        lr.retire(1);
+        lr.retire(2);
+    }
+
+    #[test]
+    fn newer_store_overrides_provider_without_disturbing_waiters() {
+        let mut lr = LoadRegUnit::new(1);
+        lr.process(1, MemOpKind::Store, 9); // S1
+        assert_eq!(
+            lr.process(2, MemOpKind::Load, 9),
+            Some(LrOutcome::WaitOn { provider: 1 })
+        );
+        lr.process(3, MemOpKind::Store, 9); // S2 becomes provider
+        // L4 must get S2's data, not S1's
+        assert_eq!(
+            lr.process(4, MemOpKind::Load, 9),
+            Some(LrOutcome::WaitOn { provider: 3 })
+        );
+        // S1 ready: only L2 wakes, with S1's value
+        assert_eq!(lr.provider_ready(1, 100), vec![2]);
+        // S2 ready: only L4 wakes
+        assert_eq!(lr.provider_ready(3, 200), vec![4]);
+        for op in [1, 2, 3, 4] {
+            lr.retire(op);
+        }
+        assert_eq!(lr.free_count(), 1);
+    }
+
+    #[test]
+    fn blocks_when_full() {
+        let mut lr = LoadRegUnit::new(1);
+        lr.process(1, MemOpKind::Load, 1);
+        assert_eq!(lr.process(2, MemOpKind::Load, 2), None); // different addr, no free LR
+        assert!(lr.is_full());
+        // same address still matches, no new entry needed
+        assert_eq!(
+            lr.process(3, MemOpKind::Load, 1),
+            Some(LrOutcome::WaitOn { provider: 1 })
+        );
+    }
+
+    #[test]
+    fn retired_provider_makes_memory_current() {
+        let mut lr = LoadRegUnit::new(1);
+        lr.process(1, MemOpKind::Store, 4);
+        lr.process(2, MemOpKind::Load, 4); // waits on store
+        lr.provider_ready(1, 5);
+        lr.retire(1); // store committed; memory now current
+        // entry still busy (load 2 pending) but provider cleared:
+        assert_eq!(lr.process(3, MemOpKind::Load, 4), Some(LrOutcome::ToMemory));
+        lr.provider_ready(3, 5);
+        lr.retire(2);
+        lr.retire(3);
+        assert_eq!(lr.free_count(), 1);
+    }
+
+    #[test]
+    fn squash_restores_the_unit() {
+        let mut lr = LoadRegUnit::new(2);
+        lr.process(1, MemOpKind::Store, 7); // older store, survives
+        lr.process(2, MemOpKind::Load, 7); // waits on 1
+        lr.process(3, MemOpKind::Store, 7); // speculative, squashed
+        lr.process(4, MemOpKind::Load, 7); // waits on 3, squashed
+        // Squash youngest-first.
+        lr.squash(4);
+        lr.squash(3);
+        // The older store's waiter is intact and provider-ship reverts.
+        assert_eq!(lr.provider_ready(1, 9), vec![2]);
+        // A new load sees the old store's data, not the squashed one's.
+        assert_eq!(
+            lr.process(5, MemOpKind::Load, 7),
+            Some(LrOutcome::Forwarded { value: 9 })
+        );
+        lr.retire(1);
+        lr.retire(2);
+        lr.retire(5);
+        assert_eq!(lr.free_count(), 2);
+    }
+
+    #[test]
+    fn squash_of_sole_op_frees_entry() {
+        let mut lr = LoadRegUnit::new(1);
+        lr.process(1, MemOpKind::Load, 3);
+        assert!(lr.is_full());
+        lr.squash(1);
+        assert_eq!(lr.free_count(), 1);
+        // unknown op squash is a no-op
+        lr.squash(99);
+    }
+
+    /// Randomized protocol check: drive the unit with arbitrary
+    /// interleavings of processing, data arrival and retirement (stores
+    /// retiring in program order, as every precise machine does), and
+    /// assert every load observes exactly the value of the last earlier
+    /// store to its address — or initial memory if there is none.
+    #[test]
+    fn randomized_protocol_preserves_program_order_semantics() {
+        use std::collections::HashMap;
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum St {
+            NotProcessed,
+            /// Data pending from this provider (self for stores and
+            /// memory loads, an older op for matched loads).
+            WaitingData(OpId),
+            HasValue(u64),
+            Retired,
+        }
+        let mut seed = 0x5eed_u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for round in 0..300u32 {
+            let n_ops = 4 + (next() % 12) as usize;
+            let mut lr = LoadRegUnit::new(2 + (next() % 3) as usize);
+            // program: (is_store, addr, store value)
+            let ops: Vec<(bool, u64, u64)> = (0..n_ops)
+                .map(|i| (next() % 2 == 0, next() % 3, 1000 + i as u64))
+                .collect();
+            let initial = |addr: u64| 500 + addr;
+            // the value a load at position i must observe
+            let expected = |i: usize| -> u64 {
+                ops[..i]
+                    .iter()
+                    .rev()
+                    .find(|(st, a, _)| *st && *a == ops[i].1)
+                    .map_or(initial(ops[i].1), |(_, _, v)| *v)
+            };
+            let mut st = vec![St::NotProcessed; n_ops];
+            let mut mem: HashMap<u64, u64> = HashMap::new(); // applied at store retire
+            let mut sampled: HashMap<usize, u64> = HashMap::new(); // ToMemory reads
+            let mut processed = 0usize;
+            let mut guard = 0;
+            while st.iter().any(|s| *s != St::Retired) {
+                guard += 1;
+                assert!(guard < 20_000, "driver wedged in round {round}");
+                match next() % 3 {
+                    // process the next op in program order
+                    0 if processed < n_ops => {
+                        let i = processed;
+                        let (is_store, addr, _) = ops[i];
+                        let kind = if is_store {
+                            MemOpKind::Store
+                        } else {
+                            MemOpKind::Load
+                        };
+                        let Some(out) = lr.process(i as OpId, kind, addr) else {
+                            continue; // unit full; do something else
+                        };
+                        processed += 1;
+                        st[i] = match out {
+                            LrOutcome::StoreRecorded => St::WaitingData(i as OpId),
+                            LrOutcome::ToMemory => {
+                                // No pending store on the address, so all
+                                // earlier same-address stores retired: the
+                                // memory sample is program-order correct.
+                                let v = mem.get(&addr).copied().unwrap_or(initial(addr));
+                                assert_eq!(v, expected(i), "ToMemory load {i} round {round}");
+                                sampled.insert(i, v);
+                                St::WaitingData(i as OpId)
+                            }
+                            LrOutcome::Forwarded { value } => {
+                                assert_eq!(value, expected(i), "forwarded load {i} round {round}");
+                                St::HasValue(value)
+                            }
+                            LrOutcome::WaitOn { provider } => St::WaitingData(provider),
+                        };
+                    }
+                    // a self-provider's data becomes known (store operands
+                    // ready / memory response back)
+                    1 => {
+                        let ready: Vec<usize> = (0..processed)
+                            .filter(|&i| st[i] == St::WaitingData(i as OpId))
+                            .collect();
+                        if ready.is_empty() {
+                            continue;
+                        }
+                        let i = ready[(next() % ready.len() as u64) as usize];
+                        let v = if ops[i].0 { ops[i].2 } else { sampled[&i] };
+                        for w in lr.provider_ready(i as OpId, v) {
+                            let w = w as usize;
+                            assert_eq!(v, expected(w), "woken load {w} round {round}");
+                            st[w] = St::HasValue(v);
+                        }
+                        st[i] = St::HasValue(v);
+                    }
+                    // retire: loads with data any time; stores in program
+                    // order once their data is known
+                    _ => {
+                        let pick: Vec<usize> = (0..processed)
+                            .filter(|&i| matches!(st[i], St::HasValue(_)))
+                            .filter(|&i| {
+                                !ops[i].0
+                                    || ops[..i]
+                                        .iter()
+                                        .enumerate()
+                                        .all(|(j, o)| !o.0 || st[j] == St::Retired)
+                            })
+                            .collect();
+                        if pick.is_empty() {
+                            continue;
+                        }
+                        let i = pick[(next() % pick.len() as u64) as usize];
+                        lr.retire(i as OpId);
+                        if ops[i].0 {
+                            mem.insert(ops[i].1, ops[i].2);
+                        }
+                        st[i] = St::Retired;
+                    }
+                }
+            }
+            assert_eq!(lr.free_count(), lr.entries.len(), "round {round}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown provider")]
+    fn provider_ready_for_nonprovider_panics() {
+        let mut lr = LoadRegUnit::new(1);
+        lr.process(1, MemOpKind::Store, 4);
+        lr.process(2, MemOpKind::Load, 4);
+        lr.provider_ready(2, 0); // the waiting load is not a provider
+    }
+}

@@ -1,0 +1,226 @@
+//! Run statistics shared by every issue-mechanism simulator.
+
+use std::fmt;
+
+use ruu_exec::{ArchState, Memory};
+
+/// Why the decode/issue stage could not issue an instruction this cycle.
+///
+/// The categories follow the paper's discussion: operand waits (data
+/// dependencies, §2.2/§3), structural waits (window full, functional unit
+/// or result-bus conflicts), the per-register instance limit of the NI/LI
+/// counters (§5.1), load-register exhaustion (§3.2.1.2), branch-condition
+/// waits and the dead cycles that follow every branch (§2.2, §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallReason {
+    /// A source operand was not available (in-order mechanisms only).
+    OperandsNotReady,
+    /// The destination register was busy (in-order mechanisms only).
+    DestinationBusy,
+    /// The target functional unit could not accept the instruction.
+    FuBusy,
+    /// No result-bus slot at the completion cycle.
+    BusConflict,
+    /// The window (reservation stations / tag unit / RSTU / RUU) was full.
+    WindowFull,
+    /// No free load register for a memory operation.
+    LoadRegFull,
+    /// The NI counter for the destination register was saturated.
+    RegInstanceLimit,
+    /// A branch was waiting in decode/issue for its condition value.
+    BranchWait,
+    /// Dead cycle after a branch (instruction fetch redirect).
+    DeadCycle,
+    /// Nothing left to issue (program drained, pipeline emptying).
+    Drained,
+}
+
+impl StallReason {
+    /// All reasons, for iteration in reports.
+    pub const ALL: [StallReason; 10] = [
+        StallReason::OperandsNotReady,
+        StallReason::DestinationBusy,
+        StallReason::FuBusy,
+        StallReason::BusConflict,
+        StallReason::WindowFull,
+        StallReason::LoadRegFull,
+        StallReason::RegInstanceLimit,
+        StallReason::BranchWait,
+        StallReason::DeadCycle,
+        StallReason::Drained,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            StallReason::OperandsNotReady => 0,
+            StallReason::DestinationBusy => 1,
+            StallReason::FuBusy => 2,
+            StallReason::BusConflict => 3,
+            StallReason::WindowFull => 4,
+            StallReason::LoadRegFull => 5,
+            StallReason::RegInstanceLimit => 6,
+            StallReason::BranchWait => 7,
+            StallReason::DeadCycle => 8,
+            StallReason::Drained => 9,
+        }
+    }
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StallReason::OperandsNotReady => "operands-not-ready",
+            StallReason::DestinationBusy => "destination-busy",
+            StallReason::FuBusy => "fu-busy",
+            StallReason::BusConflict => "bus-conflict",
+            StallReason::WindowFull => "window-full",
+            StallReason::LoadRegFull => "load-reg-full",
+            StallReason::RegInstanceLimit => "reg-instance-limit",
+            StallReason::BranchWait => "branch-wait",
+            StallReason::DeadCycle => "dead-cycle",
+            StallReason::Drained => "drained",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counters accumulated during a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    stall_cycles: [u64; StallReason::ALL.len()],
+    /// Cycles in which an instruction issued from decode.
+    pub issue_cycles: u64,
+    /// Dynamic branches issued.
+    pub branches: u64,
+    /// Dynamic taken branches.
+    pub taken_branches: u64,
+    /// Sum over cycles of window occupancy (for mean occupancy).
+    pub occupancy_sum: u64,
+    /// Peak window occupancy observed.
+    pub occupancy_peak: u32,
+    /// Loads satisfied by forwarding from the load registers rather than
+    /// memory.
+    pub forwarded_loads: u64,
+}
+
+impl RunStats {
+    /// Records a stalled decode/issue cycle.
+    pub fn stall(&mut self, reason: StallReason) {
+        self.stall_cycles[reason.idx()] += 1;
+    }
+
+    /// Stall cycles attributed to `reason`.
+    #[must_use]
+    pub fn stalls(&self, reason: StallReason) -> u64 {
+        self.stall_cycles[reason.idx()]
+    }
+
+    /// Total stalled decode/issue cycles.
+    #[must_use]
+    pub fn total_stalls(&self) -> u64 {
+        self.stall_cycles.iter().sum()
+    }
+
+    /// Records the window occupancy at the start of a cycle.
+    pub fn observe_occupancy(&mut self, occ: u32) {
+        self.occupancy_sum += u64::from(occ);
+        self.occupancy_peak = self.occupancy_peak.max(occ);
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "issue cycles     {:>10}", self.issue_cycles)?;
+        for r in StallReason::ALL {
+            let n = self.stalls(r);
+            if n > 0 {
+                writeln!(f, "stall {r:<22} {n:>10}")?;
+            }
+        }
+        writeln!(
+            f,
+            "branches         {:>10} ({} taken)",
+            self.branches, self.taken_branches
+        )?;
+        writeln!(f, "forwarded loads  {:>10}", self.forwarded_loads)?;
+        Ok(())
+    }
+}
+
+/// The result of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total clock cycles from first fetch to last commit.
+    pub cycles: u64,
+    /// Dynamic instructions executed (and, for precise machines,
+    /// committed).
+    pub instructions: u64,
+    /// Final architectural state (registers + pc).
+    pub state: ArchState,
+    /// Final memory contents.
+    pub memory: Memory,
+    /// Detailed counters.
+    pub stats: RunStats,
+}
+
+impl RunResult {
+    /// Instructions per cycle — the paper's "instruction issue rate".
+    #[must_use]
+    pub fn issue_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run relative to a baseline cycle count for the same
+    /// instruction stream (the paper's "relative speedup" against the
+    /// simple issue mechanism of Table 1).
+    #[must_use]
+    pub fn speedup_vs(&self, baseline_cycles: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_accounting() {
+        let mut s = RunStats::default();
+        s.stall(StallReason::FuBusy);
+        s.stall(StallReason::FuBusy);
+        s.stall(StallReason::DeadCycle);
+        assert_eq!(s.stalls(StallReason::FuBusy), 2);
+        assert_eq!(s.total_stalls(), 3);
+        assert!(s.to_string().contains("fu-busy"));
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let mut s = RunStats::default();
+        s.observe_occupancy(2);
+        s.observe_occupancy(6);
+        assert_eq!(s.occupancy_sum, 8);
+        assert_eq!(s.occupancy_peak, 6);
+    }
+
+    #[test]
+    fn rates() {
+        let r = RunResult {
+            cycles: 200,
+            instructions: 100,
+            state: ArchState::new(),
+            memory: Memory::new(8),
+            stats: RunStats::default(),
+        };
+        assert!((r.issue_rate() - 0.5).abs() < 1e-12);
+        assert!((r.speedup_vs(400) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Memory layout helpers and deterministic data generation for the
+//! kernels.
+//!
+//! Every kernel lays its arrays out at fixed word addresses inside a
+//! 64Ki-word memory. Array data comes from a small deterministic linear
+//! congruential generator so runs are reproducible without depending on
+//! any external RNG's value stability.
+
+use ruu_exec::Memory;
+
+/// Size of the kernel data memory, in 64-bit words.
+pub const MEM_WORDS: usize = 1 << 16;
+
+/// A tiny deterministic LCG (Numerical Recipes constants) used to fill
+/// benchmark arrays.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Creates a generator with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Lcg {
+            state: seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // xorshift the high bits down for better low-bit quality
+        let x = self.state;
+        (x >> 29) ^ x
+    }
+
+    /// A float uniform in `(lo, hi)`, well away from overflow/underflow.
+    pub fn next_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+
+    /// An integer uniform in `0..bound`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+}
+
+/// A fresh kernel memory.
+#[must_use]
+pub fn fresh_memory() -> Memory {
+    Memory::new(MEM_WORDS)
+}
+
+/// Fills `len` words at `base` with floats in `(0.1, 1.0)` from `rng`,
+/// returning the values written (for the mirror computation).
+pub fn fill_f64(mem: &mut Memory, base: u64, len: usize, rng: &mut Lcg) -> Vec<f64> {
+    let mut vals = Vec::with_capacity(len);
+    for i in 0..len {
+        let v = rng.next_f64(0.1, 1.0);
+        mem.write_f64(base + i as u64, v);
+        vals.push(v);
+    }
+    vals
+}
+
+/// Reads back `len` floats from `base` (mirror-side convenience).
+#[must_use]
+pub fn read_f64s(mem: &Memory, base: u64, len: usize) -> Vec<f64> {
+    (0..len).map(|i| mem.read_f64(base + i as u64)).collect()
+}
+
+/// Builds `(address, bits)` checks for a float array.
+#[must_use]
+pub fn checks_f64(base: u64, vals: &[f64]) -> Vec<(u64, u64)> {
+    vals.iter()
+        .enumerate()
+        .map(|(i, v)| (base + i as u64, v.to_bits()))
+        .collect()
+}
+
+/// Builds `(address, bits)` checks for an integer array.
+#[must_use]
+pub fn checks_u64(base: u64, vals: &[u64]) -> Vec<(u64, u64)> {
+    vals.iter()
+        .enumerate()
+        .map(|(i, &v)| (base + i as u64, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn floats_in_range() {
+        let mut r = Lcg::new(7);
+        for _ in 0..1000 {
+            let v = r.next_f64(0.1, 1.0);
+            assert!((0.1..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_roundtrip() {
+        let mut mem = fresh_memory();
+        let mut r = Lcg::new(1);
+        let vals = fill_f64(&mut mem, 100, 16, &mut r);
+        assert_eq!(read_f64s(&mem, 100, 16), vals);
+        let checks = checks_f64(100, &vals);
+        assert_eq!(checks.len(), 16);
+        assert_eq!(checks[3].0, 103);
+    }
+
+    #[test]
+    fn next_below_bound() {
+        let mut r = Lcg::new(3);
+        for _ in 0..500 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # ruu-workloads — the benchmark programs of the RUU paper
+//!
+//! The paper evaluates every issue mechanism on the first 14 Lawrence
+//! Livermore loops (paper §2.1), compiled for the CRAY-1 scalar unit by
+//! CFT and traced on a CRAY-1 simulator. We do not have CFT or its traces,
+//! so each kernel is **hand-compiled** here to the `ruu-isa` machine in
+//! the style of late-1980s compiled scalar code: loop counters in `A0`
+//! (branches test `A0`, as the paper notes), array pointers in A
+//! registers, loop-invariant scalars held in S registers and spilled
+//! to/restored from the B/T backup files, one fused induction pointer
+//! with constant displacements for same-index arrays.
+//!
+//! Each kernel carries a *mirror*: the same computation written directly
+//! in Rust, evaluated at build time to produce expected memory contents.
+//! [`Workload::verify`] checks a simulator's final memory bit-exactly
+//! against the mirror, independently of the golden interpreter.
+//!
+//! The dynamic instruction counts are sized to land near the paper's
+//! Table 1 (a few thousand to ~10k instructions per loop; ~100k total).
+//!
+//! Two kernels need a substitution (documented in DESIGN.md): LLL13/LLL14
+//! are particle-in-cell codes whose original form relies on float→int
+//! conversions the CRAY scalar ISA subset here does not model; they are
+//! implemented with integer particle coordinates, preserving the
+//! data-dependent gather/scatter structure that stresses the load
+//! registers.
+//!
+//! ## Example
+//!
+//! ```
+//! use ruu_workloads::livermore;
+//!
+//! let w = livermore::lll3();
+//! assert_eq!(w.name, "LLL3");
+//! let trace = w.golden_trace().expect("kernel executes");
+//! w.verify(trace.final_memory()).expect("mirror agrees");
+//! ```
+
+pub mod layout;
+pub mod livermore;
+pub mod synth;
+mod workload;
+
+pub use workload::{VerifyError, Workload};

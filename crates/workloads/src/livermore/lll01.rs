@@ -1,0 +1,102 @@
+//! LLL1 — hydro fragment:
+//! `x[k] = q + y[k] * (r*z[k+10] + t*z[k+11])`.
+//!
+//! Fully independent iterations: the classic high-ILP vectorisable loop.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{checks_f64, fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const CONST: i64 = 0x0800; // q, r, t
+const X: i64 = 0x1000;
+const Y: i64 = 0x2000;
+const Z: i64 = 0x3000;
+
+/// Builds the kernel for `n` elements.
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0x11);
+    let q = rng.next_f64(0.1, 1.0);
+    let r = rng.next_f64(0.1, 1.0);
+    let t = rng.next_f64(0.1, 1.0);
+    mem.write_f64(CONST as u64, q);
+    mem.write_f64(CONST as u64 + 1, r);
+    mem.write_f64(CONST as u64 + 2, t);
+    let y = fill_f64(&mut mem, Y as u64, n_us, &mut rng);
+    let z = fill_f64(&mut mem, Z as u64, n_us + 11, &mut rng);
+
+    // Mirror (operation order matches the assembly below).
+    let mut x = vec![0.0f64; n_us];
+    for k in 0..n_us {
+        let rz = r * z[k + 10];
+        let tz = t * z[k + 11];
+        x[k] = q + y[k] * (rz + tz);
+    }
+
+    let mut a = Asm::new("LLL1");
+    let top = a.new_label();
+    // Prologue: constants into S registers, pointers/counter into A.
+    a.a_imm(Reg::a(6), CONST);
+    a.ld_s(Reg::s(5), Reg::a(6), 0); // q
+    a.ld_s(Reg::s(6), Reg::a(6), 1); // r
+    a.ld_s(Reg::s(7), Reg::a(6), 2); // t
+    // CFT-style loop control: one pointer per array, trip count kept in
+    // A7, with the branch test value computed into A0 each iteration.
+    a.a_imm(Reg::a(1), 0); // &x[k]
+    a.a_imm(Reg::a(2), 0); // &y[k]
+    a.a_imm(Reg::a(3), 0); // &z[k]
+    a.a_imm(Reg::a(7), i64::from(n)); // trip count
+    a.a_imm(Reg::a(0), i64::from(n));
+    a.bind(top);
+    // Decrement the trip count first (so the closing branch never waits)
+    // and hoist the loads ahead of their consumers.
+    a.a_sub_imm(Reg::a(7), Reg::a(7), 1);
+    a.a_add_imm(Reg::a(0), Reg::a(7), 0); // branch test value
+    a.ld_s(Reg::s(1), Reg::a(3), Z + 10); // z[k+10]
+    a.ld_s(Reg::s(2), Reg::a(3), Z + 11); // z[k+11]
+    a.ld_s(Reg::s(3), Reg::a(2), Y); // y[k]
+    a.f_mul(Reg::s(1), Reg::s(6), Reg::s(1)); // r*z[k+10]
+    a.f_mul(Reg::s(2), Reg::s(7), Reg::s(2)); // t*z[k+11]
+    a.f_add(Reg::s(1), Reg::s(1), Reg::s(2));
+    a.f_mul(Reg::s(1), Reg::s(3), Reg::s(1)); // y[k]*(...)
+    a.f_add(Reg::s(1), Reg::s(5), Reg::s(1)); // q + ...
+    a.st_s(Reg::s(1), Reg::a(1), X); // x[k]
+    a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+    a.a_add_imm(Reg::a(2), Reg::a(2), 1);
+    a.a_add_imm(Reg::a(3), Reg::a(3), 1);
+    a.br_an(top);
+    a.halt();
+
+    Workload {
+        name: "LLL1",
+        description: "hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])",
+        program: a.assemble().expect("LLL1 assembles"),
+        memory: mem,
+        checks: checks_f64(X as u64, &x),
+        inst_limit: 40 * u64::from(n) + 1_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(40);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn dynamic_count_scales_with_n() {
+        let small = build(10).golden_trace().unwrap().len();
+        let big = build(20).golden_trace().unwrap().len();
+        assert!(big > small);
+        // 12-instruction body
+        assert_eq!(big - small, 10 * 15);
+    }
+}

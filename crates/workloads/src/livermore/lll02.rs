@@ -1,0 +1,131 @@
+//! LLL2 — excerpt from an incomplete Cholesky conjugate-gradient solver:
+//! a log-depth reduction with strided access and an outer control loop.
+//!
+//! ```text
+//! ii = n; ipntp = 0;
+//! loop {
+//!     ipnt = ipntp; ipntp += ii; ii /= 2; i = ipntp;
+//!     for k in (ipnt+1 .. ipntp).step_by(2) {
+//!         i += 1;
+//!         x[i] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1];
+//!     }
+//!     if ii <= 1 { break }
+//! }
+//! ```
+//!
+//! The outer loop exercises integer/address computation (including the
+//! halving of `ii` through an S-register shift) and pointer
+//! re-initialisation from the B file.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{checks_f64, fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const X: i64 = 0x1000;
+const V: i64 = 0x3000;
+
+/// Builds the kernel for initial span `n` (arrays sized `2n + 4`).
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    let size = 2 * n_us + 4;
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0x22);
+    let x0 = fill_f64(&mut mem, X as u64, size, &mut rng);
+    let v = fill_f64(&mut mem, V as u64, size, &mut rng);
+
+    // Mirror.
+    let mut x = x0;
+    let mut ii = n_us;
+    let mut ipntp = 0usize;
+    loop {
+        let ipnt = ipntp;
+        ipntp += ii;
+        ii /= 2;
+        let mut i = ipntp;
+        let mut k = ipnt + 1;
+        while k < ipntp {
+            i += 1;
+            x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+            k += 2;
+        }
+        if ii <= 1 {
+            break;
+        }
+    }
+
+    let mut a = Asm::new("LLL2");
+    let outer = a.new_label();
+    let inner = a.new_label();
+    let skip = a.new_label();
+    let done = a.new_label();
+    // A3 = ii, A4 = ipntp, A5 = ipnt, A1 = k pointer, A2 = i pointer.
+    a.a_imm(Reg::a(3), i64::from(n));
+    a.a_imm(Reg::a(4), 0);
+    a.bind(outer);
+    // ipnt = ipntp; ipntp += ii; ii >>= 1 (shift via the S file).
+    a.a_add_imm(Reg::a(5), Reg::a(4), 0); // ipnt = ipntp
+    a.a_add(Reg::a(4), Reg::a(4), Reg::a(3)); // ipntp += ii
+    a.a_to_s(Reg::s(1), Reg::a(3));
+    a.s_shr(Reg::s(1), Reg::s(1), 1);
+    a.s_to_a(Reg::a(3), Reg::s(1)); // ii /= 2
+    a.a_add_imm(Reg::a(2), Reg::a(4), 0); // i = ipntp
+    a.a_add_imm(Reg::a(1), Reg::a(5), 1); // k = ipnt + 1
+    // trip = ii (the halved value equals floor(old_ii/2) = iteration count)
+    a.a_add_imm(Reg::a(0), Reg::a(3), 0);
+    a.br_az(skip); // empty pass guard
+    a.bind(inner);
+    // CFT-style schedule: all loads up front, early trip decrement.
+    a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+    a.ld_s(Reg::s(1), Reg::a(1), V); // v[k]
+    a.ld_s(Reg::s(2), Reg::a(1), X - 1); // x[k-1]
+    a.ld_s(Reg::s(4), Reg::a(1), X); // x[k]
+    a.ld_s(Reg::s(5), Reg::a(1), V + 1); // v[k+1]
+    a.ld_s(Reg::s(6), Reg::a(1), X + 1); // x[k+1]
+    a.f_mul(Reg::s(3), Reg::s(1), Reg::s(2));
+    a.f_sub(Reg::s(4), Reg::s(4), Reg::s(3));
+    a.f_mul(Reg::s(3), Reg::s(5), Reg::s(6));
+    a.f_sub(Reg::s(4), Reg::s(4), Reg::s(3));
+    a.a_add_imm(Reg::a(2), Reg::a(2), 1); // i += 1
+    a.st_s(Reg::s(4), Reg::a(2), X); // x[i]
+    a.a_add_imm(Reg::a(1), Reg::a(1), 2); // k += 2
+    a.br_an(inner);
+    a.bind(skip);
+    // continue while ii > 1
+    a.a_sub_imm(Reg::a(0), Reg::a(3), 1); // A0 = ii - 1
+    a.br_az(done);
+    a.jump(outer);
+    a.bind(done);
+    a.halt();
+
+    Workload {
+        name: "LLL2",
+        description: "ICCG excerpt: log-depth strided reduction",
+        program: a.assemble().expect("LLL2 assembles"),
+        memory: mem,
+        checks: checks_f64(X as u64, &x),
+        inst_limit: 60 * u64::from(n) + 10_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(64);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn total_inner_iterations_near_n() {
+        // sum of floor(ii/2) over passes ≈ n
+        let w = build(128);
+        let t = w.golden_trace().unwrap();
+        let stores = t.mix().stores;
+        assert!((100..=128).contains(&stores), "stores = {stores}");
+    }
+}

@@ -1,0 +1,85 @@
+//! LLL3 — inner product: `q = Σ z[k] * x[k]`.
+//!
+//! A serial reduction: every iteration's add depends on the previous
+//! one, so the floating-add latency bounds throughput regardless of
+//! window size — a deliberately ILP-poor kernel.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const X: i64 = 0x1000;
+const Z: i64 = 0x2000;
+const Q: i64 = 0x0800; // result cell
+
+/// Builds the kernel for `n` elements.
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0x33);
+    let x = fill_f64(&mut mem, X as u64, n_us, &mut rng);
+    let z = fill_f64(&mut mem, Z as u64, n_us, &mut rng);
+
+    // Mirror.
+    let mut q = 0.0f64;
+    for k in 0..n_us {
+        q += z[k] * x[k];
+    }
+
+    let mut a = Asm::new("LLL3");
+    let top = a.new_label();
+    // CFT-style loop control: separate pointers, count in A7 with the
+    // branch value computed into A0, and the running sum staged through
+    // the T file each iteration (backup-register management).
+    a.s_imm(Reg::s(1), 0); // q accumulator (0.0 bit pattern)
+    a.s_to_t(Reg::t(1), Reg::s(1));
+    a.a_imm(Reg::a(1), 0); // &z[k]
+    a.a_imm(Reg::a(2), 0); // &x[k]
+    a.a_imm(Reg::a(7), i64::from(n));
+    a.a_imm(Reg::a(0), i64::from(n));
+    a.bind(top);
+    a.a_sub_imm(Reg::a(7), Reg::a(7), 1);
+    a.a_add_imm(Reg::a(0), Reg::a(7), 0);
+    a.ld_s(Reg::s(2), Reg::a(1), Z);
+    a.ld_s(Reg::s(3), Reg::a(2), X);
+    a.t_to_s(Reg::s(1), Reg::t(1)); // restore sum
+    a.f_mul(Reg::s(2), Reg::s(2), Reg::s(3));
+    a.f_add(Reg::s(1), Reg::s(1), Reg::s(2));
+    a.s_to_t(Reg::t(1), Reg::s(1)); // bank sum
+    a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+    a.a_add_imm(Reg::a(2), Reg::a(2), 1);
+    a.br_an(top);
+    a.a_imm(Reg::a(2), Q);
+    a.st_s(Reg::s(1), Reg::a(2), 0);
+    a.halt();
+
+    Workload {
+        name: "LLL3",
+        description: "inner product: q = sum z[k]*x[k] (serial reduction)",
+        program: a.assemble().expect("LLL3 assembles"),
+        memory: mem,
+        checks: vec![(Q as u64, q.to_bits())],
+        inst_limit: 20 * u64::from(n) + 1_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(100);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn body_is_eleven_instructions() {
+        let a = build(10).golden_trace().unwrap().len();
+        let b = build(11).golden_trace().unwrap().len();
+        assert_eq!(b - a, 11);
+    }
+}

@@ -1,0 +1,118 @@
+//! LLL4 — banded linear equations:
+//!
+//! ```text
+//! m = (n - 7) / 2
+//! for k in [6, 6+m, 6+2m] {
+//!     lw = k - 6;
+//!     temp = x[k-1];
+//!     for j in (4..n).step_by(5) {
+//!         temp -= xz[lw] * y[j];
+//!         lw += 1;
+//!     }
+//!     x[k-1] = y[4] * temp;
+//! }
+//! ```
+//!
+//! A strided serial reduction inside a short outer loop; outer-loop
+//! pointers are staged through the B file.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{checks_f64, fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const X: i64 = 0x1000;
+const Y: i64 = 0x2000;
+const XZ: i64 = 0x3000;
+
+/// Builds the kernel for span `n` (the paper-scale size is 1001).
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    assert!(n_us >= 20, "LLL4 needs n >= 20");
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0x44);
+    let mut x = fill_f64(&mut mem, X as u64, n_us, &mut rng);
+    let y = fill_f64(&mut mem, Y as u64, n_us, &mut rng);
+    let xz = fill_f64(&mut mem, XZ as u64, n_us + n_us / 5 + 8, &mut rng);
+
+    // Mirror.
+    let m = (n_us - 7) / 2;
+    for k in [6, 6 + m, 6 + 2 * m] {
+        let mut lw = k - 6;
+        let mut temp = x[k - 1];
+        let mut j = 4;
+        while j < n_us {
+            temp -= xz[lw] * y[j];
+            lw += 1;
+            j += 5;
+        }
+        x[k - 1] = y[4] * temp;
+    }
+
+    let inner_trips = (n_us - 4).div_ceil(5) as i64;
+    let m_i = m as i64;
+
+    let mut a = Asm::new("LLL4");
+    let outer = a.new_label();
+    let inner = a.new_label();
+    // B1 holds k across the outer loop; A7 counts outer trips.
+    a.a_imm(Reg::a(2), 6); // k = 6
+    a.a_to_b(Reg::b(1), Reg::a(2));
+    a.a_imm(Reg::a(7), 3); // outer trip count
+    a.bind(outer);
+    a.b_to_a(Reg::a(2), Reg::b(1)); // k
+    a.a_sub_imm(Reg::a(3), Reg::a(2), 6); // lw = k - 6
+    a.ld_s(Reg::s(1), Reg::a(2), X - 1); // temp = x[k-1]
+    a.a_imm(Reg::a(1), 4); // j
+    a.a_imm(Reg::a(0), inner_trips);
+    a.bind(inner);
+    a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+    a.ld_s(Reg::s(2), Reg::a(3), XZ); // xz[lw]
+    a.ld_s(Reg::s(3), Reg::a(1), Y); // y[j]
+    a.f_mul(Reg::s(2), Reg::s(2), Reg::s(3));
+    a.f_sub(Reg::s(1), Reg::s(1), Reg::s(2));
+    a.a_add_imm(Reg::a(3), Reg::a(3), 1); // lw += 1
+    a.a_add_imm(Reg::a(1), Reg::a(1), 5); // j += 5
+    a.br_an(inner);
+    // x[k-1] = y[4] * temp
+    a.a_imm(Reg::a(4), 4);
+    a.ld_s(Reg::s(4), Reg::a(4), Y); // y[4]
+    a.f_mul(Reg::s(1), Reg::s(4), Reg::s(1));
+    a.st_s(Reg::s(1), Reg::a(2), X - 1);
+    // k += m, loop 3 times
+    a.a_add_imm(Reg::a(2), Reg::a(2), m_i);
+    a.a_to_b(Reg::b(1), Reg::a(2));
+    a.a_sub_imm(Reg::a(7), Reg::a(7), 1);
+    a.a_add_imm(Reg::a(0), Reg::a(7), 0);
+    a.br_an(outer);
+    a.halt();
+
+    Workload {
+        name: "LLL4",
+        description: "banded linear equations: strided dot inside short outer loop",
+        program: a.assemble().expect("LLL4 assembles"),
+        memory: mem,
+        checks: checks_f64(X as u64, &x),
+        inst_limit: 40 * u64::from(n) + 10_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(101);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn three_outer_iterations() {
+        let w = build(101);
+        let t = w.golden_trace().unwrap();
+        assert_eq!(t.mix().stores, 3);
+    }
+}

@@ -1,0 +1,76 @@
+//! LLL5 — tridiagonal elimination, below diagonal:
+//! `x[i] = z[i] * (y[i] - x[i-1])`.
+//!
+//! A first-order linear recurrence: the carried value `x[i-1]` lives in a
+//! register, so every iteration is a serial subtract→multiply chain — the
+//! paper's canonical dependency-bound loop.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{checks_f64, fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const X: i64 = 0x1000;
+const Y: i64 = 0x2000;
+const Z: i64 = 0x3000;
+
+/// Builds the kernel for `n` recurrence steps.
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0x55);
+    let mut x = fill_f64(&mut mem, X as u64, n_us + 1, &mut rng);
+    let y = fill_f64(&mut mem, Y as u64, n_us + 1, &mut rng);
+    let z = fill_f64(&mut mem, Z as u64, n_us + 1, &mut rng);
+
+    // Mirror: i = 1..=n.
+    for i in 1..=n_us {
+        x[i] = z[i] * (y[i] - x[i - 1]);
+    }
+
+    let mut a = Asm::new("LLL5");
+    let top = a.new_label();
+    a.a_imm(Reg::a(1), 1); // i
+    a.a_imm(Reg::a(2), 0);
+    a.ld_s(Reg::s(1), Reg::a(2), X); // carried x[0]
+    a.a_imm(Reg::a(0), i64::from(n));
+    a.bind(top);
+    a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+    a.ld_s(Reg::s(2), Reg::a(1), Y); // y[i]
+    a.ld_s(Reg::s(3), Reg::a(1), Z); // z[i]
+    a.f_sub(Reg::s(2), Reg::s(2), Reg::s(1)); // y[i] - x[i-1]
+    a.f_mul(Reg::s(1), Reg::s(3), Reg::s(2)); // new carried x[i]
+    a.st_s(Reg::s(1), Reg::a(1), X);
+    a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+    a.br_an(top);
+    a.halt();
+
+    Workload {
+        name: "LLL5",
+        description: "tridiagonal elimination: x[i] = z[i]*(y[i] - x[i-1]) (recurrence)",
+        program: a.assemble().expect("LLL5 assembles"),
+        memory: mem,
+        checks: checks_f64(X as u64, &x),
+        inst_limit: 20 * u64::from(n) + 1_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(100);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn body_is_eight_instructions() {
+        let a = build(10).golden_trace().unwrap().len();
+        let b = build(11).golden_trace().unwrap().len();
+        assert_eq!(b - a, 8);
+    }
+}

@@ -1,0 +1,102 @@
+//! LLL6 — general linear recurrence equations:
+//!
+//! ```text
+//! for i in 1..n {
+//!     w[i] = 0.0100;
+//!     for k in 0..i {
+//!         w[i] += b[k][i] * w[i-k-1];
+//!     }
+//! }
+//! ```
+//!
+//! A triangular doubly nested loop: the inner reduction walks `w`
+//! backwards while striding `b` by rows, and each outer iteration depends
+//! on all previous ones.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{checks_f64, fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const W: i64 = 0x1000;
+const B: i64 = 0x2000; // b[k][i] at B + k*n + i
+const CONST: i64 = 0x0800;
+
+/// Builds the kernel for order `n` (inner iterations total n(n-1)/2).
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    let n_i = i64::from(n);
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0x66);
+    let mut w = fill_f64(&mut mem, W as u64, n_us, &mut rng);
+    let b = fill_f64(&mut mem, B as u64, n_us * n_us, &mut rng);
+    mem.write_f64(CONST as u64, 0.0100);
+
+    // Mirror.
+    for i in 1..n_us {
+        w[i] = 0.0100;
+        for k in 0..i {
+            w[i] += b[k * n_us + i] * w[i - k - 1];
+        }
+    }
+
+    let mut a = Asm::new("LLL6");
+    let outer = a.new_label();
+    let inner = a.new_label();
+    a.a_imm(Reg::a(5), CONST);
+    a.ld_s(Reg::s(5), Reg::a(5), 0); // 0.0100
+    a.a_imm(Reg::a(2), 1); // i
+    a.a_imm(Reg::a(7), n_i - 1); // outer trips
+    a.bind(outer);
+    // S1 = w[i] accumulator, A3 = &b[k][i] walker, A4 = i-1-k walker.
+    a.s_or(Reg::s(1), Reg::s(5), Reg::s(5)); // w[i] = 0.0100 (register move)
+    a.a_add_imm(Reg::a(3), Reg::a(2), 0); // b index starts at i
+    a.a_sub_imm(Reg::a(4), Reg::a(2), 1); // w index starts at i-1
+    a.a_add_imm(Reg::a(0), Reg::a(2), 0); // inner trips = i
+    a.bind(inner);
+    a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+    a.ld_s(Reg::s(2), Reg::a(3), B); // b[k][i]
+    a.ld_s(Reg::s(3), Reg::a(4), W); // w[i-k-1]
+    a.f_mul(Reg::s(2), Reg::s(2), Reg::s(3));
+    a.f_add(Reg::s(1), Reg::s(1), Reg::s(2));
+    a.a_add_imm(Reg::a(3), Reg::a(3), n_i); // next row
+    a.a_sub_imm(Reg::a(4), Reg::a(4), 1);
+    a.br_an(inner);
+    a.st_s(Reg::s(1), Reg::a(2), W); // w[i]
+    a.a_add_imm(Reg::a(2), Reg::a(2), 1);
+    a.a_sub_imm(Reg::a(7), Reg::a(7), 1);
+    a.a_add_imm(Reg::a(0), Reg::a(7), 0);
+    a.br_an(outer);
+    a.halt();
+
+    Workload {
+        name: "LLL6",
+        description: "general linear recurrence: triangular double loop",
+        program: a.assemble().expect("LLL6 assembles"),
+        memory: mem,
+        checks: checks_f64(W as u64, &w),
+        inst_limit: 20 * u64::from(n) * u64::from(n) + 10_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(12);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn triangular_iteration_count() {
+        let w = build(10);
+        let t = w.golden_trace().unwrap();
+        // 9 outer stores; inner muls = 9*10/2 = 45
+        assert_eq!(t.mix().stores, 9);
+        assert_eq!(t.mix().fu_count(ruu_isa::FuClass::FloatMul), 45);
+    }
+}

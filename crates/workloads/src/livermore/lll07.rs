@@ -1,0 +1,118 @@
+//! LLL7 — equation of state fragment:
+//!
+//! ```text
+//! x[k] = u[k] + r*( z[k] + r*y[k] )
+//!             + t*( u[k+3] + r*( u[k+2] + r*u[k+1] )
+//!             + t*( u[k+6] + r*( u[k+5] + r*u[k+4] ) ) )
+//! ```
+//!
+//! Independent iterations with a wide expression tree — lots of ILP and
+//! heavy use of the float units.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{checks_f64, fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const CONST: i64 = 0x0800; // r, t
+const X: i64 = 0x1000;
+const Y: i64 = 0x2000;
+const Z: i64 = 0x3000;
+const U: i64 = 0x4000;
+
+/// Builds the kernel for `n` elements.
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0x77);
+    let r = rng.next_f64(0.1, 1.0);
+    let t = rng.next_f64(0.1, 1.0);
+    mem.write_f64(CONST as u64, r);
+    mem.write_f64(CONST as u64 + 1, t);
+    let y = fill_f64(&mut mem, Y as u64, n_us, &mut rng);
+    let z = fill_f64(&mut mem, Z as u64, n_us, &mut rng);
+    let u = fill_f64(&mut mem, U as u64, n_us + 6, &mut rng);
+
+    // Mirror (same association order as the assembly).
+    let mut x = vec![0.0f64; n_us];
+    for k in 0..n_us {
+        let inner2 = u[k + 6] + r * (u[k + 5] + r * u[k + 4]);
+        let inner1 = u[k + 3] + r * (u[k + 2] + r * u[k + 1]) + t * inner2;
+        x[k] = u[k] + r * (z[k] + r * y[k]) + t * inner1;
+    }
+
+    let mut a = Asm::new("LLL7");
+    let top = a.new_label();
+    a.a_imm(Reg::a(6), CONST);
+    a.ld_s(Reg::s(5), Reg::a(6), 0); // r
+    a.ld_s(Reg::s(6), Reg::a(6), 1); // t
+    a.a_imm(Reg::a(1), 0);
+    a.a_imm(Reg::a(0), i64::from(n));
+    a.bind(top);
+    // CFT-style schedule: early trip decrement, loads clustered ahead of
+    // each sub-expression.
+    a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+    // inner2 = u[k+6] + r*(u[k+5] + r*u[k+4])
+    a.ld_s(Reg::s(1), Reg::a(1), U + 4);
+    a.ld_s(Reg::s(2), Reg::a(1), U + 5);
+    a.ld_s(Reg::s(3), Reg::a(1), U + 6);
+    a.f_mul(Reg::s(1), Reg::s(5), Reg::s(1));
+    a.f_add(Reg::s(1), Reg::s(2), Reg::s(1));
+    a.f_mul(Reg::s(1), Reg::s(5), Reg::s(1));
+    a.f_add(Reg::s(2), Reg::s(3), Reg::s(1)); // inner2
+    // inner1 = u[k+3] + r*(u[k+2] + r*u[k+1]) + t*inner2
+    a.ld_s(Reg::s(1), Reg::a(1), U + 1);
+    a.ld_s(Reg::s(3), Reg::a(1), U + 2);
+    a.ld_s(Reg::s(4), Reg::a(1), U + 3);
+    a.f_mul(Reg::s(1), Reg::s(5), Reg::s(1));
+    a.f_add(Reg::s(1), Reg::s(3), Reg::s(1));
+    a.f_mul(Reg::s(1), Reg::s(5), Reg::s(1));
+    a.f_add(Reg::s(3), Reg::s(4), Reg::s(1)); // u[k+3] + ...
+    a.f_mul(Reg::s(2), Reg::s(6), Reg::s(2)); // t*inner2
+    a.f_add(Reg::s(3), Reg::s(3), Reg::s(2)); // inner1
+    // x[k] = u[k] + r*(z[k] + r*y[k]) + t*inner1
+    a.ld_s(Reg::s(1), Reg::a(1), Y);
+    a.ld_s(Reg::s(2), Reg::a(1), Z);
+    a.ld_s(Reg::s(4), Reg::a(1), U);
+    a.f_mul(Reg::s(1), Reg::s(5), Reg::s(1));
+    a.f_add(Reg::s(1), Reg::s(2), Reg::s(1));
+    a.f_mul(Reg::s(1), Reg::s(5), Reg::s(1));
+    a.f_add(Reg::s(1), Reg::s(4), Reg::s(1));
+    a.f_mul(Reg::s(3), Reg::s(6), Reg::s(3)); // t*inner1
+    a.f_add(Reg::s(1), Reg::s(1), Reg::s(3));
+    a.st_s(Reg::s(1), Reg::a(1), X);
+    a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+    a.br_an(top);
+    a.halt();
+
+    Workload {
+        name: "LLL7",
+        description: "equation of state fragment: wide expression tree, high ILP",
+        program: a.assemble().expect("LLL7 assembles"),
+        memory: mem,
+        checks: checks_f64(X as u64, &x),
+        inst_limit: 60 * u64::from(n) + 1_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(25);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn sixteen_flops_per_iteration() {
+        let w = build(10);
+        let t = w.golden_trace().unwrap();
+        let flops = t.mix().fu_count(ruu_isa::FuClass::FloatAdd)
+            + t.mix().fu_count(ruu_isa::FuClass::FloatMul);
+        assert_eq!(flops, 160);
+    }
+}

@@ -1,0 +1,176 @@
+//! LLL8 — ADI (alternating-direction implicit) integration.
+//!
+//! Three coupled 2-D fields `u1,u2,u3` are advanced from plane `nl1` to
+//! plane `nl2`:
+//!
+//! ```text
+//! for kx in 2..=3 {
+//!   for ky in 2..=n {
+//!     du1 = u1[nl1][kx][ky+1] - u1[nl1][kx][ky-1]   (du2, du3 alike)
+//!     u1[nl2][kx][ky] = u1[nl1][kx][ky] + a11*du1 + a12*du2 + a13*du3
+//!        + sig*(u1[nl1][kx+1][ky] - 2*u1[nl1][kx][ky] + u1[nl1][kx-1][ky])
+//!     (u2, u3 alike with a2x / a3x)
+//!   }
+//! }
+//! ```
+//!
+//! Ten loop-invariant coefficients exceed the S file, so they are held in
+//! the **T file** and fetched with `t_to_s` inside the body — exactly the
+//! backup-register traffic the paper's 144-register tag problem is about.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const CONST: i64 = 0x0800;
+const U1: i64 = 0x1000;
+const U2: i64 = 0x3000;
+const U3: i64 = 0x5000;
+/// ky stride (row length).
+const DIM: i64 = 64;
+/// plane stride (5 kx rows).
+const PLANE: i64 = 5 * DIM;
+
+fn idx(plane: i64, kx: i64, ky: usize) -> usize {
+    (plane * PLANE + kx * DIM) as usize + ky
+}
+
+/// Builds the kernel for `n` (ky runs 2..=n; kx runs 2..=3).
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    assert!(n_us + 2 < DIM as usize, "ky range must fit the row");
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0x88);
+    let coef: Vec<f64> = (0..10).map(|_| rng.next_f64(0.01, 0.2)).collect();
+    for (i, c) in coef.iter().enumerate() {
+        mem.write_f64(CONST as u64 + i as u64, *c);
+    }
+    let len = (2 * PLANE) as usize;
+    let u1v = fill_f64(&mut mem, U1 as u64, len, &mut rng);
+    let u2v = fill_f64(&mut mem, U2 as u64, len, &mut rng);
+    let u3v = fill_f64(&mut mem, U3 as u64, len, &mut rng);
+
+    // Mirror.
+    let mut u1 = u1v;
+    let mut u2 = u2v;
+    let mut u3 = u3v;
+    let sig = coef[9];
+    let line = |u: &[f64], a1: f64, a2: f64, a3: f64, du: [f64; 3], kx: i64, ky: usize| {
+        let c = u[idx(0, kx, ky)];
+        let mut acc = c + a1 * du[0];
+        acc += a2 * du[1];
+        acc += a3 * du[2];
+        let t = ((u[idx(0, kx + 1, ky)] - c) - c) + u[idx(0, kx - 1, ky)];
+        acc + sig * t
+    };
+    for kx in 2..=3i64 {
+        for ky in 2..=n_us {
+            let du = [
+                u1[idx(0, kx, ky + 1)] - u1[idx(0, kx, ky - 1)],
+                u2[idx(0, kx, ky + 1)] - u2[idx(0, kx, ky - 1)],
+                u3[idx(0, kx, ky + 1)] - u3[idx(0, kx, ky - 1)],
+            ];
+            let n1 = line(&u1, coef[0], coef[1], coef[2], du, kx, ky);
+            let n2 = line(&u2, coef[3], coef[4], coef[5], du, kx, ky);
+            let n3 = line(&u3, coef[6], coef[7], coef[8], du, kx, ky);
+            u1[idx(1, kx, ky)] = n1;
+            u2[idx(1, kx, ky)] = n2;
+            u3[idx(1, kx, ky)] = n3;
+        }
+    }
+
+    let mut a = Asm::new("LLL8");
+    // Prologue: coefficients into T0..T9 via S1.
+    a.a_imm(Reg::a(6), CONST);
+    for i in 0..10u8 {
+        a.ld_s(Reg::s(1), Reg::a(6), i64::from(i));
+        a.s_to_t(Reg::t(i), Reg::s(1));
+    }
+    // One unrolled copy of the body per kx (kx is a compile-time constant
+    // in the displacement, as CFT would generate for a trip-2 loop).
+    for kx in 2..=3i64 {
+        let top = a.new_label();
+        a.a_imm(Reg::a(1), 2); // ky
+        a.a_imm(Reg::a(0), i64::from(n) - 1); // trips: ky = 2..=n
+        a.bind(top);
+        a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+        let d = |plane: i64, kxx: i64, base: i64, off: i64| base + plane * PLANE + kxx * DIM + off;
+        // du1..du3 into S2..S4
+        for (s, base) in [(2u8, U1), (3, U2), (4, U3)] {
+            a.ld_s(Reg::s(1), Reg::a(1), d(0, kx, base, 1));
+            a.ld_s(Reg::s(6), Reg::a(1), d(0, kx, base, -1));
+            a.f_sub(Reg::s(s), Reg::s(1), Reg::s(6));
+        }
+        // field updates (loads hoisted ahead of the coefficient chain;
+        // the sig neighbourhood term is computed first, added last,
+        // preserving the mirror's association order)
+        for (fi, base) in [(0u8, U1), (1, U2), (2, U3)] {
+            a.ld_s(Reg::s(1), Reg::a(1), d(0, kx, base, 0)); // center
+            a.ld_s(Reg::s(6), Reg::a(1), d(0, kx + 1, base, 0));
+            a.ld_s(Reg::s(7), Reg::a(1), d(0, kx - 1, base, 0));
+            a.f_sub(Reg::s(6), Reg::s(6), Reg::s(1));
+            a.f_sub(Reg::s(6), Reg::s(6), Reg::s(1));
+            a.f_add(Reg::s(6), Reg::s(6), Reg::s(7));
+            a.t_to_s(Reg::s(7), Reg::t(9)); // sig
+            a.f_mul(Reg::s(6), Reg::s(7), Reg::s(6)); // sig part, in S6
+            for (j, s_du) in [(0u8, 2u8), (1, 3), (2, 4)] {
+                a.t_to_s(Reg::s(7), Reg::t(fi * 3 + j)); // a(fi,j)
+                a.f_mul(Reg::s(7), Reg::s(7), Reg::s(s_du));
+                if j == 0 {
+                    a.f_add(Reg::s(5), Reg::s(1), Reg::s(7));
+                } else {
+                    a.f_add(Reg::s(5), Reg::s(5), Reg::s(7));
+                }
+            }
+            a.f_add(Reg::s(5), Reg::s(5), Reg::s(6));
+            a.st_s(Reg::s(5), Reg::a(1), d(1, kx, base, 0));
+        }
+        a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+        a.br_an(top);
+    }
+    a.halt();
+
+    // Check the written plane-1 interior of all three fields.
+    let mut checks = Vec::new();
+    for kx in 2..=3i64 {
+        for ky in 2..=n_us {
+            checks.push((U1 as u64 + idx(1, kx, ky) as u64, u1[idx(1, kx, ky)].to_bits()));
+            checks.push((U2 as u64 + idx(1, kx, ky) as u64, u2[idx(1, kx, ky)].to_bits()));
+            checks.push((U3 as u64 + idx(1, kx, ky) as u64, u3[idx(1, kx, ky)].to_bits()));
+        }
+    }
+
+    Workload {
+        name: "LLL8",
+        description: "ADI integration: 3 coupled 2-D fields, coefficients in the T file",
+        program: a.assemble().expect("LLL8 assembles"),
+        memory: mem,
+        checks,
+        inst_limit: 200 * u64::from(n) + 10_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(10);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn uses_the_t_file() {
+        let w = build(5);
+        let transfers = w
+            .program
+            .iter()
+            .filter(|i| i.opcode == ruu_isa::Opcode::TtoS)
+            .count();
+        assert!(transfers >= 10, "T-file fetches in the body");
+    }
+}

@@ -1,0 +1,143 @@
+//! LLL9 — integrate predictors:
+//!
+//! ```text
+//! px[0][i] = dm28*px[12][i] + dm27*px[11][i] + dm26*px[10][i]
+//!          + dm25*px[9][i]  + dm24*px[8][i]  + dm23*px[7][i]
+//!          + dm22*px[6][i]  + c0*(px[4][i] + px[5][i]) + px[2][i]
+//! ```
+//!
+//! Independent iterations over a 13-row predictor table; eight
+//! coefficients split between the S and T files.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const CONST: i64 = 0x0800; // dm22..dm28, c0
+const PX: i64 = 0x1000; // px[row][i] at PX + row*STRIDE + i
+const STRIDE: i64 = 256;
+
+/// Builds the kernel for `n` columns.
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    assert!(n_us <= STRIDE as usize, "columns must fit the row stride");
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0x99);
+    let dm: Vec<f64> = (0..7).map(|_| rng.next_f64(0.1, 0.5)).collect(); // dm22..dm28
+    let c0 = rng.next_f64(0.1, 0.5);
+    for (i, c) in dm.iter().enumerate() {
+        mem.write_f64(CONST as u64 + i as u64, *c);
+    }
+    mem.write_f64(CONST as u64 + 7, c0);
+    let px0 = fill_f64(&mut mem, PX as u64, 13 * STRIDE as usize, &mut rng);
+
+    // Mirror (associating left-to-right like the assembly).
+    let mut px = px0;
+    let row = |r: usize, i: usize| r * STRIDE as usize + i;
+    for i in 0..n_us {
+        let mut acc = dm[6] * px[row(12, i)]; // dm28
+        acc += dm[5] * px[row(11, i)];
+        acc += dm[4] * px[row(10, i)];
+        acc += dm[3] * px[row(9, i)];
+        acc += dm[2] * px[row(8, i)];
+        acc += dm[1] * px[row(7, i)];
+        acc += dm[0] * px[row(6, i)];
+        acc += c0 * (px[row(4, i)] + px[row(5, i)]);
+        acc += px[row(2, i)];
+        px[row(0, i)] = acc;
+    }
+
+    let mut a = Asm::new("LLL9");
+    let top = a.new_label();
+    a.a_imm(Reg::a(6), CONST);
+    // dm24..dm28 in S3..S7; dm22, dm23, c0 spill to T0..T2.
+    for (i, s) in (2..7u8).zip(3..8u8) {
+        a.ld_s(Reg::s(s), Reg::a(6), i64::from(i)); // dm24..dm28
+    }
+    for (i, t) in [0u8, 1, 7].into_iter().zip(0..3u8) {
+        a.ld_s(Reg::s(1), Reg::a(6), i64::from(i));
+        a.s_to_t(Reg::t(t), Reg::s(1)); // dm22, dm23, c0
+    }
+    a.a_imm(Reg::a(1), 0);
+    a.a_imm(Reg::a(0), i64::from(n));
+    a.bind(top);
+    // CFT-style schedule: early trip decrement; loads run two ahead of
+    // their consuming multiplies (double-buffered through S0/S1).
+    a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+    let r = |k: i64| PX + k * STRIDE;
+    a.ld_s(Reg::s(1), Reg::a(1), r(12));
+    a.ld_s(Reg::s(0), Reg::a(1), r(11));
+    a.f_mul(Reg::s(2), Reg::s(7), Reg::s(1)); // dm28*px12
+    a.ld_s(Reg::s(1), Reg::a(1), r(10));
+    a.f_mul(Reg::s(0), Reg::s(6), Reg::s(0)); // dm27*px11
+    a.f_add(Reg::s(2), Reg::s(2), Reg::s(0));
+    a.ld_s(Reg::s(0), Reg::a(1), r(9));
+    a.f_mul(Reg::s(1), Reg::s(5), Reg::s(1)); // dm26*px10
+    a.f_add(Reg::s(2), Reg::s(2), Reg::s(1));
+    a.ld_s(Reg::s(1), Reg::a(1), r(8));
+    a.f_mul(Reg::s(0), Reg::s(4), Reg::s(0)); // dm25*px9
+    a.f_add(Reg::s(2), Reg::s(2), Reg::s(0));
+    a.ld_s(Reg::s(0), Reg::a(1), r(7));
+    a.f_mul(Reg::s(1), Reg::s(3), Reg::s(1)); // dm24*px8
+    a.f_add(Reg::s(2), Reg::s(2), Reg::s(1));
+    // dm23, dm22 from the T file
+    a.t_to_s(Reg::s(1), Reg::t(1));
+    a.f_mul(Reg::s(1), Reg::s(1), Reg::s(0)); // dm23*px7
+    a.f_add(Reg::s(2), Reg::s(2), Reg::s(1));
+    a.ld_s(Reg::s(0), Reg::a(1), r(6));
+    a.t_to_s(Reg::s(1), Reg::t(0));
+    a.f_mul(Reg::s(1), Reg::s(1), Reg::s(0)); // dm22*px6
+    a.f_add(Reg::s(2), Reg::s(2), Reg::s(1));
+    // c0*(px4 + px5)
+    a.ld_s(Reg::s(1), Reg::a(1), r(4));
+    a.ld_s(Reg::s(0), Reg::a(1), r(5));
+    a.f_add(Reg::s(1), Reg::s(1), Reg::s(0));
+    a.t_to_s(Reg::s(0), Reg::t(2));
+    a.f_mul(Reg::s(1), Reg::s(0), Reg::s(1));
+    a.f_add(Reg::s(2), Reg::s(2), Reg::s(1));
+    // + px2
+    a.ld_s(Reg::s(1), Reg::a(1), r(2));
+    a.f_add(Reg::s(2), Reg::s(2), Reg::s(1));
+    a.st_s(Reg::s(2), Reg::a(1), r(0));
+    a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+    a.br_an(top);
+    a.halt();
+
+    let checks = (0..n_us)
+        .map(|i| (PX as u64 + i as u64, px[row(0, i)].to_bits()))
+        .collect();
+
+    Workload {
+        name: "LLL9",
+        description: "integrate predictors: 13-row predictor table, coefficients in S+T",
+        program: a.assemble().expect("LLL9 assembles"),
+        memory: mem,
+        checks,
+        inst_limit: 80 * u64::from(n) + 2_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(30);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn uses_s0_as_scratch_without_branching_on_it() {
+        // S0 is used as an operand temp here; the loop branch tests A0.
+        let w = build(5);
+        assert!(w
+            .program
+            .iter()
+            .filter(|i| i.is_branch())
+            .all(|i| i.src1 == Some(Reg::a(0))));
+    }
+}

@@ -1,0 +1,108 @@
+//! LLL10 — difference predictors:
+//!
+//! ```text
+//! ar = cx[4][i];
+//! br = ar - px[4][i];  px[4][i] = ar;
+//! cr = br - px[5][i];  px[5][i] = br;
+//! ...                                  (nine difference stages)
+//! px[13][i] = last difference
+//! ```
+//!
+//! A pure load/subtract/store chain — memory-port and
+//! store→load-adjacent traffic with a serial dependence down each column.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const PX: i64 = 0x1000;
+const CX: i64 = 0x6000;
+const STRIDE: i64 = 256;
+
+/// Builds the kernel for `n` columns.
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0xAA);
+    let px0 = fill_f64(&mut mem, PX as u64, 14 * STRIDE as usize, &mut rng);
+    let cx = fill_f64(&mut mem, CX as u64, 5 * STRIDE as usize, &mut rng);
+
+    // Mirror.
+    let mut px = px0;
+    let row = |r: usize, i: usize| r * STRIDE as usize + i;
+    for i in 0..n_us {
+        let mut cur = cx[row(4, i)];
+        for r in 4..13 {
+            let next = cur - px[row(r, i)];
+            px[row(r, i)] = cur;
+            cur = next;
+        }
+        px[row(13, i)] = cur;
+    }
+
+    let mut a = Asm::new("LLL10");
+    let top = a.new_label();
+    a.a_imm(Reg::a(1), 0);
+    a.a_imm(Reg::a(0), i64::from(n));
+    a.bind(top);
+    // CFT-style schedule: early trip decrement; each stage's px load is
+    // issued one stage ahead (S2/S4 double buffer).
+    a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+    a.ld_s(Reg::s(1), Reg::a(1), CX + 4 * STRIDE); // cur = cx[4][i]
+    a.ld_s(Reg::s(2), Reg::a(1), PX + 4 * STRIDE); // px[4][i]
+    for r in 4..13i64 {
+        if r < 12 {
+            a.ld_s(Reg::s(4), Reg::a(1), PX + (r + 1) * STRIDE); // prefetch
+        }
+        a.f_sub(Reg::s(3), Reg::s(1), Reg::s(2)); // next
+        a.st_s(Reg::s(1), Reg::a(1), PX + r * STRIDE); // px[r][i] = cur
+        a.s_or(Reg::s(1), Reg::s(3), Reg::s(3)); // cur = next
+        if r < 12 {
+            a.s_or(Reg::s(2), Reg::s(4), Reg::s(4)); // shift buffer
+        }
+    }
+    a.st_s(Reg::s(1), Reg::a(1), PX + 13 * STRIDE);
+    a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+    a.br_an(top);
+    a.halt();
+
+    let mut checks = Vec::new();
+    for r in 4..14usize {
+        for i in 0..n_us {
+            checks.push((
+                PX as u64 + (r as u64) * STRIDE as u64 + i as u64,
+                px[row(r, i)].to_bits(),
+            ));
+        }
+    }
+
+    Workload {
+        name: "LLL10",
+        description: "difference predictors: nine-stage load/subtract/store chain",
+        program: a.assemble().expect("LLL10 assembles"),
+        memory: mem,
+        checks,
+        inst_limit: 80 * u64::from(n) + 2_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(20);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn ten_stores_per_column() {
+        let w = build(8);
+        let t = w.golden_trace().unwrap();
+        assert_eq!(t.mix().stores, 80);
+    }
+}

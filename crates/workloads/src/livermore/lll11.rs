@@ -1,0 +1,80 @@
+//! LLL11 — first sum (prefix sum): `x[k] = x[k-1] + y[k]`.
+//!
+//! The tightest serial recurrence in the suite: one floating add per
+//! iteration, each depending on the last. No issue mechanism can beat the
+//! adder latency here; the interesting question is how little overhead
+//! each mechanism adds around it.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{checks_f64, fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const X: i64 = 0x1000;
+const Y: i64 = 0x3000;
+
+/// Builds the kernel for `n` elements.
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0xBB);
+    let y = fill_f64(&mut mem, Y as u64, n_us, &mut rng);
+
+    // Mirror: x[0] = y[0]; x[k] = x[k-1] + y[k].
+    let mut x = vec![0.0f64; n_us];
+    x[0] = y[0];
+    for k in 1..n_us {
+        x[k] = x[k - 1] + y[k];
+    }
+
+    let mut a = Asm::new("LLL11");
+    let top = a.new_label();
+    // CFT-style code: the recurrence value is re-read from x[k-1] every
+    // iteration (store→load traffic the load registers must forward),
+    // with the trip count in A7 and the branch value computed into A0.
+    a.a_imm(Reg::a(1), 0);
+    a.ld_s(Reg::s(1), Reg::a(1), Y); // x[0] = y[0]
+    a.st_s(Reg::s(1), Reg::a(1), X);
+    a.a_imm(Reg::a(1), 1);
+    a.a_imm(Reg::a(7), i64::from(n) - 1);
+    a.a_imm(Reg::a(0), i64::from(n) - 1);
+    a.bind(top);
+    a.a_sub_imm(Reg::a(7), Reg::a(7), 1);
+    a.a_add_imm(Reg::a(0), Reg::a(7), 0);
+    a.ld_s(Reg::s(2), Reg::a(1), Y);
+    a.ld_s(Reg::s(1), Reg::a(1), X - 1); // reload x[k-1]
+    a.f_add(Reg::s(1), Reg::s(1), Reg::s(2));
+    a.st_s(Reg::s(1), Reg::a(1), X);
+    a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+    a.br_an(top);
+    a.halt();
+
+    Workload {
+        name: "LLL11",
+        description: "first sum: x[k] = x[k-1] + y[k] (tightest recurrence)",
+        program: a.assemble().expect("LLL11 assembles"),
+        memory: mem,
+        checks: checks_f64(X as u64, &x),
+        inst_limit: 20 * u64::from(n) + 1_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(64);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn body_is_six_instructions() {
+        let a = build(10).golden_trace().unwrap().len();
+        let b = build(11).golden_trace().unwrap().len();
+        assert_eq!(b - a, 8);
+    }
+}

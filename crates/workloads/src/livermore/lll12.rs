@@ -1,0 +1,76 @@
+//! LLL12 — first difference: `x[k] = y[k+1] - y[k]`.
+//!
+//! Fully independent iterations, two loads and one subtract each: the
+//! memory port and the result bus are the only contended resources.
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{checks_f64, fill_f64, fresh_memory, Lcg};
+use crate::Workload;
+
+const X: i64 = 0x1000;
+const Y: i64 = 0x3000;
+
+/// Builds the kernel for `n` elements.
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0xCC);
+    let y = fill_f64(&mut mem, Y as u64, n_us + 1, &mut rng);
+
+    // Mirror.
+    let mut x = vec![0.0f64; n_us];
+    for k in 0..n_us {
+        x[k] = y[k + 1] - y[k];
+    }
+
+    let mut a = Asm::new("LLL12");
+    let top = a.new_label();
+    // CFT-style loop control: one pointer per array, count in A7 with the
+    // branch value computed into A0.
+    a.a_imm(Reg::a(1), 0); // &y[k]
+    a.a_imm(Reg::a(2), 0); // &x[k]
+    a.a_imm(Reg::a(7), i64::from(n));
+    a.a_imm(Reg::a(0), i64::from(n));
+    a.bind(top);
+    a.a_sub_imm(Reg::a(7), Reg::a(7), 1);
+    a.a_add_imm(Reg::a(0), Reg::a(7), 0);
+    a.ld_s(Reg::s(1), Reg::a(1), Y + 1);
+    a.ld_s(Reg::s(2), Reg::a(1), Y);
+    a.f_sub(Reg::s(1), Reg::s(1), Reg::s(2));
+    a.st_s(Reg::s(1), Reg::a(2), X);
+    a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+    a.a_add_imm(Reg::a(2), Reg::a(2), 1);
+    a.br_an(top);
+    a.halt();
+
+    Workload {
+        name: "LLL12",
+        description: "first difference: x[k] = y[k+1] - y[k] (independent iterations)",
+        program: a.assemble().expect("LLL12 assembles"),
+        memory: mem,
+        checks: checks_f64(X as u64, &x),
+        inst_limit: 20 * u64::from(n) + 1_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(64);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn two_loads_per_iteration() {
+        let w = build(10);
+        let t = w.golden_trace().unwrap();
+        assert_eq!(t.mix().loads, 20);
+        assert_eq!(t.mix().stores, 10);
+    }
+}

@@ -1,0 +1,157 @@
+//! LLL13 — 2-D particle-in-cell.
+//!
+//! **Substitution** (documented in DESIGN.md): the original kernel
+//! converts float particle coordinates to integer grid indices; this ISA
+//! subset has no float→int conversion, so particle state is kept in
+//! integers. The architecturally interesting structure is preserved
+//! exactly: *data-dependent gathers* (field lookups at computed indices),
+//! read-modify-write particle updates, and a *scatter* with potential
+//! address collisions — the load registers' disambiguation workload.
+//!
+//! ```text
+//! i1 = p1[ip] & 63;  j1 = p2[ip] & 63;
+//! p3[ip] += b[i1*64 + j1];
+//! p4[ip] += c[i1*64 + j1];
+//! p1[ip] += p3[ip];  p2[ip] += p4[ip];
+//! i2 = p1[ip] & 63;  j2 = p2[ip] & 63;
+//! p1[ip] += y[i2 + 32];  p2[ip] += z[j2 + 32];
+//! h[i2*64 + j2] += 1;
+//! ```
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{checks_u64, fresh_memory, Lcg};
+use crate::Workload;
+
+const P1: i64 = 0x1000;
+const P2: i64 = 0x1800;
+const P3: i64 = 0x2000;
+const P4: i64 = 0x2800;
+const B: i64 = 0x3000; // 64x64
+const C: i64 = 0x4000; // 64x64
+const Y: i64 = 0x5000; // 128
+const Z: i64 = 0x5100; // 128
+const H: i64 = 0x6000; // 64x64
+
+/// Builds the kernel for `n` particles.
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0xDD);
+    let mut fill_ints = |base: i64, len: usize, bound: u64| -> Vec<u64> {
+        let mut v = Vec::with_capacity(len);
+        for i in 0..len {
+            let val = rng.next_below(bound);
+            mem.write(base as u64 + i as u64, val);
+            v.push(val);
+        }
+        v
+    };
+    let mut p1 = fill_ints(P1, n_us, 1 << 20);
+    let mut p2 = fill_ints(P2, n_us, 1 << 20);
+    let mut p3 = fill_ints(P3, n_us, 16);
+    let mut p4 = fill_ints(P4, n_us, 16);
+    let b = fill_ints(B, 64 * 64, 8);
+    let c = fill_ints(C, 64 * 64, 8);
+    let y = fill_ints(Y, 128, 8);
+    let z = fill_ints(Z, 128, 8);
+    let mut h = vec![0u64; 64 * 64];
+
+    // Mirror.
+    for ip in 0..n_us {
+        let i1 = (p1[ip] & 63) as usize;
+        let j1 = (p2[ip] & 63) as usize;
+        p3[ip] = p3[ip].wrapping_add(b[i1 * 64 + j1]);
+        p4[ip] = p4[ip].wrapping_add(c[i1 * 64 + j1]);
+        p1[ip] = p1[ip].wrapping_add(p3[ip]);
+        p2[ip] = p2[ip].wrapping_add(p4[ip]);
+        let i2 = (p1[ip] & 63) as usize;
+        let j2 = (p2[ip] & 63) as usize;
+        p1[ip] = p1[ip].wrapping_add(y[i2 + 32]);
+        p2[ip] = p2[ip].wrapping_add(z[j2 + 32]);
+        h[i2 * 64 + j2] = h[i2 * 64 + j2].wrapping_add(1);
+    }
+
+    let mut a = Asm::new("LLL13");
+    let top = a.new_label();
+    a.s_imm(Reg::s(7), 63); // grid mask
+    a.s_imm(Reg::s(6), 1); // histogram increment
+    a.a_imm(Reg::a(1), 0); // ip
+    a.a_imm(Reg::a(0), i64::from(n));
+    a.bind(top);
+    a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+    a.ld_s(Reg::s(1), Reg::a(1), P1);
+    a.ld_s(Reg::s(2), Reg::a(1), P2);
+    a.s_and(Reg::s(3), Reg::s(1), Reg::s(7)); // i1
+    a.s_and(Reg::s(4), Reg::s(2), Reg::s(7)); // j1
+    a.s_shl(Reg::s(3), Reg::s(3), 6);
+    a.s_add(Reg::s(3), Reg::s(3), Reg::s(4)); // idx1
+    a.s_to_a(Reg::a(2), Reg::s(3));
+    a.ld_s(Reg::s(4), Reg::a(2), B); // b[idx1] (gather)
+    a.ld_s(Reg::s(5), Reg::a(1), P3);
+    a.s_add(Reg::s(5), Reg::s(5), Reg::s(4)); // p3'
+    a.st_s(Reg::s(5), Reg::a(1), P3);
+    a.ld_s(Reg::s(4), Reg::a(2), C); // c[idx1] (gather)
+    a.ld_s(Reg::s(3), Reg::a(1), P4);
+    a.s_add(Reg::s(3), Reg::s(3), Reg::s(4)); // p4'
+    a.st_s(Reg::s(3), Reg::a(1), P4);
+    a.s_add(Reg::s(1), Reg::s(1), Reg::s(5)); // p1 += p3'
+    a.s_add(Reg::s(2), Reg::s(2), Reg::s(3)); // p2 += p4'
+    a.s_and(Reg::s(4), Reg::s(1), Reg::s(7)); // i2
+    a.s_and(Reg::s(5), Reg::s(2), Reg::s(7)); // j2
+    a.s_to_a(Reg::a(3), Reg::s(4));
+    a.ld_s(Reg::s(3), Reg::a(3), Y + 32); // y[i2+32]
+    a.s_add(Reg::s(1), Reg::s(1), Reg::s(3));
+    a.st_s(Reg::s(1), Reg::a(1), P1);
+    a.s_to_a(Reg::a(4), Reg::s(5));
+    a.ld_s(Reg::s(3), Reg::a(4), Z + 32); // z[j2+32]
+    a.s_add(Reg::s(2), Reg::s(2), Reg::s(3));
+    a.st_s(Reg::s(2), Reg::a(1), P2);
+    a.s_shl(Reg::s(4), Reg::s(4), 6);
+    a.s_add(Reg::s(4), Reg::s(4), Reg::s(5)); // idx2
+    a.s_to_a(Reg::a(5), Reg::s(4));
+    a.ld_s(Reg::s(3), Reg::a(5), H); // h scatter: read
+    a.s_add(Reg::s(3), Reg::s(3), Reg::s(6));
+    a.st_s(Reg::s(3), Reg::a(5), H); // h scatter: write
+    a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+    a.br_an(top);
+    a.halt();
+
+    let mut checks = checks_u64(P1 as u64, &p1);
+    checks.extend(checks_u64(P2 as u64, &p2));
+    checks.extend(checks_u64(P3 as u64, &p3));
+    checks.extend(checks_u64(P4 as u64, &p4));
+    checks.extend(checks_u64(H as u64, &h));
+
+    Workload {
+        name: "LLL13",
+        description: "2-D particle-in-cell (integer coordinates): gathers + histogram scatter",
+        program: a.assemble().expect("LLL13 assembles"),
+        memory: mem,
+        checks,
+        inst_limit: 80 * u64::from(n) + 2_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(50);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn histogram_counts_particles() {
+        let w = build(32);
+        let t = w.golden_trace().unwrap();
+        let total: u64 = (0..64 * 64)
+            .map(|i| t.final_memory().read(H as u64 + i))
+            .sum();
+        assert_eq!(total, 32);
+    }
+}

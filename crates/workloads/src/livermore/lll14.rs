@@ -1,0 +1,121 @@
+//! LLL14 — 1-D particle-in-cell.
+//!
+//! Same substitution as [`super::lll13`] (integer particle coordinates;
+//! see DESIGN.md): data-dependent field gathers and a two-point charge
+//! scatter with potential address collisions between neighbouring
+//! particles.
+//!
+//! ```text
+//! ix = vx[ip] & 127;
+//! vy[ip] += ex[ix];
+//! xx[ip] += vy[ip];
+//! ir = xx[ip] & 127;
+//! rh[ir]   += 1;
+//! rh[ir+1] += 1;
+//! ```
+
+use ruu_isa::{Asm, Reg};
+
+use crate::layout::{checks_u64, fresh_memory, Lcg};
+use crate::Workload;
+
+const VX: i64 = 0x1000;
+const VY: i64 = 0x1800;
+const XX: i64 = 0x2000;
+const EX: i64 = 0x3000; // 128
+const RH: i64 = 0x3100; // 129
+
+/// Builds the kernel for `n` particles.
+#[must_use]
+pub fn build(n: u32) -> Workload {
+    let n_us = n as usize;
+    let mut mem = fresh_memory();
+    let mut rng = Lcg::new(0xEE);
+    let mut fill_ints = |base: i64, len: usize, bound: u64| -> Vec<u64> {
+        let mut v = Vec::with_capacity(len);
+        for i in 0..len {
+            let val = rng.next_below(bound);
+            mem.write(base as u64 + i as u64, val);
+            v.push(val);
+        }
+        v
+    };
+    let vx = fill_ints(VX, n_us, 1 << 16);
+    let mut vy = fill_ints(VY, n_us, 64);
+    let mut xx = fill_ints(XX, n_us, 1 << 16);
+    let ex = fill_ints(EX, 128, 16);
+    let mut rh = vec![0u64; 129];
+
+    // Mirror.
+    for ip in 0..n_us {
+        let ix = (vx[ip] & 127) as usize;
+        vy[ip] = vy[ip].wrapping_add(ex[ix]);
+        xx[ip] = xx[ip].wrapping_add(vy[ip]);
+        let ir = (xx[ip] & 127) as usize;
+        rh[ir] = rh[ir].wrapping_add(1);
+        rh[ir + 1] = rh[ir + 1].wrapping_add(1);
+    }
+
+    let mut a = Asm::new("LLL14");
+    let top = a.new_label();
+    a.s_imm(Reg::s(7), 127); // grid mask
+    a.s_imm(Reg::s(6), 1); // charge increment
+    a.a_imm(Reg::a(1), 0); // ip
+    a.a_imm(Reg::a(0), i64::from(n));
+    a.bind(top);
+    a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+    a.ld_s(Reg::s(1), Reg::a(1), VX);
+    a.s_and(Reg::s(2), Reg::s(1), Reg::s(7)); // ix
+    a.s_to_a(Reg::a(2), Reg::s(2));
+    a.ld_s(Reg::s(3), Reg::a(2), EX); // ex[ix] (gather)
+    a.ld_s(Reg::s(4), Reg::a(1), VY);
+    a.s_add(Reg::s(4), Reg::s(4), Reg::s(3));
+    a.st_s(Reg::s(4), Reg::a(1), VY);
+    a.ld_s(Reg::s(5), Reg::a(1), XX);
+    a.s_add(Reg::s(5), Reg::s(5), Reg::s(4));
+    a.st_s(Reg::s(5), Reg::a(1), XX);
+    a.s_and(Reg::s(2), Reg::s(5), Reg::s(7)); // ir
+    a.s_to_a(Reg::a(3), Reg::s(2));
+    a.ld_s(Reg::s(3), Reg::a(3), RH); // rh[ir]
+    a.s_add(Reg::s(3), Reg::s(3), Reg::s(6));
+    a.st_s(Reg::s(3), Reg::a(3), RH);
+    a.ld_s(Reg::s(3), Reg::a(3), RH + 1); // rh[ir+1]
+    a.s_add(Reg::s(3), Reg::s(3), Reg::s(6));
+    a.st_s(Reg::s(3), Reg::a(3), RH + 1);
+    a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+    a.br_an(top);
+    a.halt();
+
+    let mut checks = checks_u64(VY as u64, &vy);
+    checks.extend(checks_u64(XX as u64, &xx));
+    checks.extend(checks_u64(RH as u64, &rh));
+
+    Workload {
+        name: "LLL14",
+        description: "1-D particle-in-cell (integer coordinates): gathers + charge scatter",
+        program: a.assemble().expect("LLL14 assembles"),
+        memory: mem,
+        checks,
+        inst_limit: 60 * u64::from(n) + 2_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_matches_golden_execution() {
+        let w = build(60);
+        let t = w.golden_trace().unwrap();
+        w.verify(t.final_memory()).unwrap();
+    }
+
+    #[test]
+    fn charge_conservation() {
+        let w = build(40);
+        let t = w.golden_trace().unwrap();
+        let total: u64 = (0..129).map(|i| t.final_memory().read(RH as u64 + i)).sum();
+        assert_eq!(total, 80); // 2 increments per particle
+    }
+}

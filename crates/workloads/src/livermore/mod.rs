@@ -1,0 +1,208 @@
+//! The first 14 Lawrence Livermore loops, hand-compiled to the model
+//! architecture (paper §2.1).
+//!
+//! Each module builds one kernel: the assembly, the initial data, and a
+//! Rust *mirror* of the computation whose results become the workload's
+//! bit-exact memory checks. The default sizes (`lll1()` .. `lll14()`) are
+//! chosen so dynamic instruction counts land near the paper's Table 1.
+//!
+//! Conventions (CFT-flavoured scalar code):
+//! * the loop trip count lives in `A0` and loops close with `br_an` —
+//!   branches test `A0`, matching the paper's observation that "most
+//!   branch instructions tested the value of A0";
+//! * one fused induction pointer (usually `A1`) serves all same-index
+//!   arrays via constant displacements;
+//! * loop-invariant floats live in S registers, with overflow spilled to
+//!   the T file (fetched by `t_to_s` inside the body) and loop-invariant
+//!   addresses restored from the B file — the register-file traffic the
+//!   RSTU/RUU must handle for all 144 registers.
+
+mod lll01;
+mod lll02;
+mod lll03;
+mod lll04;
+mod lll05;
+mod lll06;
+mod lll07;
+mod lll08;
+mod lll09;
+mod lll10;
+mod lll11;
+mod lll12;
+mod lll13;
+mod lll14;
+
+use crate::Workload;
+
+/// LLL1 — hydro fragment (default size).
+#[must_use]
+pub fn lll1() -> Workload {
+    lll01::build(400)
+}
+
+/// LLL2 — incomplete Cholesky conjugate gradient (default size).
+#[must_use]
+pub fn lll2() -> Workload {
+    lll02::build(500)
+}
+
+/// LLL3 — inner product (default size).
+#[must_use]
+pub fn lll3() -> Workload {
+    lll03::build(1001)
+}
+
+/// LLL4 — banded linear equations (default size).
+#[must_use]
+pub fn lll4() -> Workload {
+    lll04::build(1001)
+}
+
+/// LLL5 — tridiagonal elimination, below diagonal (default size).
+#[must_use]
+pub fn lll5() -> Workload {
+    lll05::build(995)
+}
+
+/// LLL6 — general linear recurrence equations (default size).
+#[must_use]
+pub fn lll6() -> Workload {
+    lll06::build(50)
+}
+
+/// LLL7 — equation of state fragment (default size).
+#[must_use]
+pub fn lll7() -> Workload {
+    lll07::build(150)
+}
+
+/// LLL8 — ADI integration (default size).
+#[must_use]
+pub fn lll8() -> Workload {
+    lll08::build(40)
+}
+
+/// LLL9 — integrate predictors (default size).
+#[must_use]
+pub fn lll9() -> Workload {
+    lll09::build(150)
+}
+
+/// LLL10 — difference predictors (default size).
+#[must_use]
+pub fn lll10() -> Workload {
+    lll10::build(130)
+}
+
+/// LLL11 — first sum (default size).
+#[must_use]
+pub fn lll11() -> Workload {
+    lll11::build(1300)
+}
+
+/// LLL12 — first difference (default size).
+#[must_use]
+pub fn lll12() -> Workload {
+    lll12::build(1300)
+}
+
+/// LLL13 — 2-D particle-in-cell (integer-coordinate substitution,
+/// default size).
+#[must_use]
+pub fn lll13() -> Workload {
+    lll13::build(280)
+}
+
+/// LLL14 — 1-D particle-in-cell (integer-coordinate substitution,
+/// default size).
+#[must_use]
+pub fn lll14() -> Workload {
+    lll14::build(380)
+}
+
+/// All 14 loops at their default sizes, in order.
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    vec![
+        lll1(),
+        lll2(),
+        lll3(),
+        lll4(),
+        lll5(),
+        lll6(),
+        lll7(),
+        lll8(),
+        lll9(),
+        lll10(),
+        lll11(),
+        lll12(),
+        lll13(),
+        lll14(),
+    ]
+}
+
+/// Looks a loop up by name (`"LLL1"`..`"LLL14"`, case-insensitive).
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    let lower = name.to_ascii_lowercase();
+    all().into_iter().find(|w| w.name.to_ascii_lowercase() == lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every kernel must execute on the golden interpreter and reproduce
+    /// its Rust mirror bit-exactly.
+    #[test]
+    fn all_kernels_execute_and_verify() {
+        for w in all() {
+            let t = w
+                .golden_trace()
+                .unwrap_or_else(|e| panic!("{} failed to execute: {e}", w.name));
+            w.verify(t.final_memory())
+                .unwrap_or_else(|e| panic!("{} mirror mismatch: {e}", w.name));
+            assert!(!w.checks.is_empty(), "{} has no checks", w.name);
+        }
+    }
+
+    /// Dynamic sizes should land in the neighbourhood of the paper's
+    /// Table 1 (thousands of instructions per loop, ~100k total).
+    #[test]
+    fn dynamic_sizes_are_in_paper_range() {
+        let mut total = 0;
+        for w in all() {
+            let t = w.golden_trace().unwrap();
+            let n = t.len() as u64;
+            assert!(
+                (2_000..20_000).contains(&n),
+                "{}: {n} dynamic instructions out of expected range",
+                w.name
+            );
+            total += n;
+        }
+        assert!(
+            (60_000..200_000).contains(&total),
+            "total {total} out of range"
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("lll7").unwrap().name, "LLL7");
+        assert_eq!(by_name("LLL14").unwrap().name, "LLL14");
+        assert!(by_name("LLL15").is_none());
+    }
+
+    /// Loops must use branches that test A0 (the paper's observation) and
+    /// must contain memory traffic.
+    #[test]
+    fn kernels_look_like_cft_output() {
+        for w in all() {
+            let branches = w.program.iter().filter(|i| i.is_branch()).count();
+            let mems = w.program.iter().filter(|i| i.is_mem()).count();
+            assert!(branches >= 1, "{} has no loop branch", w.name);
+            assert!(mems >= 1, "{} has no memory traffic", w.name);
+        }
+    }
+}

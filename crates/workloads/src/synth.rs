@@ -1,0 +1,293 @@
+//! Synthetic program generators: random (but always-terminating) programs
+//! for property tests, and dependency-chain microkernels for ablation
+//! benches.
+
+use ruu_exec::Memory;
+use ruu_isa::{Asm, Program, Reg};
+
+use crate::layout::Lcg;
+
+/// Parameters for [`random_program`].
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of segments (straight-line blocks or counted loops).
+    pub segments: usize,
+    /// Instructions per block / loop body.
+    pub block_len: usize,
+    /// Maximum loop trip count.
+    pub max_trips: u32,
+    /// Whether to include loads and stores.
+    pub mem_ops: bool,
+    /// Concentrate all memory traffic on a handful of addresses (a fixed
+    /// base register and tiny displacements), maximising load-register
+    /// matches, forwarding chains and write-after-read hazards.
+    pub hot_addresses: bool,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            segments: 6,
+            block_len: 12,
+            max_trips: 6,
+            mem_ops: true,
+            hot_addresses: false,
+        }
+    }
+}
+
+// `A0` is reserved for loop counters and `S0` is left alone so generated
+// branch behaviour stays comprehensible.
+fn a_reg(rng: &mut Lcg) -> Reg {
+    Reg::a(1 + rng.next_below(7) as u8)
+}
+
+fn s_reg(rng: &mut Lcg) -> Reg {
+    Reg::s(1 + rng.next_below(7) as u8)
+}
+
+/// Memory operand: in hot mode everything goes through `A7` with 4 word
+/// addresses; otherwise any base register with a 32-word window.
+fn mem_operand(rng: &mut Lcg, cfg: &SynthConfig) -> (Reg, i64) {
+    if cfg.hot_addresses {
+        (Reg::a(7), rng.next_below(4) as i64)
+    } else {
+        (a_reg(rng), rng.next_below(32) as i64)
+    }
+}
+
+/// Emits one random non-branch instruction.
+fn random_inst(a: &mut Asm, rng: &mut Lcg, cfg: &SynthConfig) {
+    let mem_ops = cfg.mem_ops;
+    let choices = if mem_ops { 16 } else { 14 };
+    match rng.next_below(choices) {
+        0 => {
+            let (d, j, k) = (a_reg(rng), a_reg(rng), a_reg(rng));
+            a.a_add(d, j, k);
+        }
+        1 => {
+            let (d, j, k) = (a_reg(rng), a_reg(rng), a_reg(rng));
+            a.a_sub(d, j, k);
+        }
+        2 => {
+            let (d, j) = (a_reg(rng), a_reg(rng));
+            a.a_add_imm(d, j, rng.next_below(64) as i64);
+        }
+        3 => {
+            let (d, j, k) = (a_reg(rng), a_reg(rng), a_reg(rng));
+            a.a_mul(d, j, k);
+        }
+        4 => {
+            let d = a_reg(rng);
+            a.a_imm(d, rng.next_below(1 << 12) as i64);
+        }
+        5 => {
+            let (d, j, k) = (s_reg(rng), s_reg(rng), s_reg(rng));
+            a.s_add(d, j, k);
+        }
+        6 => {
+            let (d, j, k) = (s_reg(rng), s_reg(rng), s_reg(rng));
+            a.s_sub(d, j, k);
+        }
+        7 => {
+            let (d, j, k) = (s_reg(rng), s_reg(rng), s_reg(rng));
+            match rng.next_below(3) {
+                0 => a.s_and(d, j, k),
+                1 => a.s_or(d, j, k),
+                _ => a.s_xor(d, j, k),
+            };
+        }
+        8 => {
+            let (d, j) = (s_reg(rng), s_reg(rng));
+            let sh = rng.next_below(16) as i64;
+            if rng.next_below(2) == 0 {
+                a.s_shl(d, j, sh);
+            } else {
+                a.s_shr(d, j, sh);
+            }
+        }
+        9 => {
+            let (d, j, k) = (s_reg(rng), s_reg(rng), s_reg(rng));
+            match rng.next_below(3) {
+                0 => a.f_add(d, j, k),
+                1 => a.f_sub(d, j, k),
+                _ => a.f_mul(d, j, k),
+            };
+        }
+        10 => {
+            let d = s_reg(rng);
+            a.s_imm(d, rng.next_below(1 << 16) as i64);
+        }
+        11 => {
+            // transfers to/from the backup files
+            match rng.next_below(4) {
+                0 => {
+                    let (d, s) = (Reg::b(rng.next_below(8) as u8), a_reg(rng));
+                    a.a_to_b(d, s);
+                }
+                1 => {
+                    let (d, s) = (a_reg(rng), Reg::b(rng.next_below(8) as u8));
+                    a.b_to_a(d, s);
+                }
+                2 => {
+                    let (d, s) = (Reg::t(rng.next_below(8) as u8), s_reg(rng));
+                    a.s_to_t(d, s);
+                }
+                _ => {
+                    let (d, s) = (s_reg(rng), Reg::t(rng.next_below(8) as u8));
+                    a.t_to_s(d, s);
+                }
+            };
+        }
+        12 => {
+            let (d, s) = (s_reg(rng), a_reg(rng));
+            a.a_to_s(d, s);
+        }
+        13 => {
+            let (d, s) = (a_reg(rng), s_reg(rng));
+            a.s_to_a(d, s);
+        }
+        14 => {
+            let d = s_reg(rng);
+            let (base, disp) = mem_operand(rng, cfg);
+            a.ld_s(d, base, disp);
+        }
+        _ => {
+            let src = s_reg(rng);
+            let (base, disp) = mem_operand(rng, cfg);
+            a.st_s(src, base, disp);
+        }
+    }
+}
+
+/// Generates a random, always-terminating program plus an initial memory.
+///
+/// Structure: a sequence of segments, each either a straight-line block
+/// or a counted loop (`A0` counter, body free of writes to `A0` and of
+/// inner branches), so every generated program halts.
+#[must_use]
+pub fn random_program(seed: u64, cfg: &SynthConfig) -> (Program, Memory) {
+    let mut rng = Lcg::new(seed);
+    let mut a = Asm::new(format!("synth-{seed:#x}"));
+    let mut mem = Memory::new(1 << 12);
+    for i in 0..256 {
+        mem.write(i, rng.next_u64() >> 8);
+    }
+    // Seed some registers so arithmetic has varied inputs.
+    for i in 1..8u8 {
+        a.a_imm(Reg::a(i), rng.next_below(1 << 10) as i64);
+        a.s_imm(Reg::s(i), rng.next_below(1 << 20) as i64);
+    }
+    if cfg.hot_addresses {
+        // Pin the hot base so every memory op lands in one tiny window.
+        a.a_imm(Reg::a(7), 64);
+    }
+    for _ in 0..cfg.segments {
+        if rng.next_below(2) == 0 {
+            for _ in 0..cfg.block_len {
+                random_inst(&mut a, &mut rng, cfg);
+            }
+        } else {
+            let trips = 1 + rng.next_below(u64::from(cfg.max_trips)) as i64;
+            let top = a.new_label();
+            a.a_imm(Reg::a(0), trips);
+            a.bind(top);
+            for _ in 0..cfg.block_len {
+                random_inst(&mut a, &mut rng, cfg);
+            }
+            a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+            a.br_an(top);
+        }
+    }
+    a.halt();
+    (a.assemble().expect("synthetic programs assemble"), mem)
+}
+
+/// A serial dependency chain of `n` operations on one functional unit —
+/// the ILP-free worst case for any issue mechanism.
+#[must_use]
+pub fn dependency_chain(n: usize) -> (Program, Memory) {
+    let mut a = Asm::new("chain");
+    a.s_imm(Reg::s(1), 3);
+    for _ in 0..n {
+        a.s_add(Reg::s(1), Reg::s(1), Reg::s(1));
+    }
+    a.halt();
+    (a.assemble().expect("chain assembles"), Memory::new(1 << 8))
+}
+
+/// `n` fully independent operations spread across registers — the
+/// maximal-ILP best case.
+#[must_use]
+pub fn independent_ops(n: usize) -> (Program, Memory) {
+    let mut a = Asm::new("independent");
+    for i in 0..n {
+        let d = Reg::s(1 + (i % 7) as u8);
+        a.s_imm(d, i as i64);
+    }
+    a.halt();
+    (
+        a.assemble().expect("independent ops assemble"),
+        Memory::new(1 << 8),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruu_exec::Trace;
+
+    #[test]
+    fn random_programs_terminate_on_golden() {
+        for seed in 0..20 {
+            let (p, mem) = random_program(seed, &SynthConfig::default());
+            let t = Trace::capture(&p, mem, 1_000_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (p1, _) = random_program(7, &SynthConfig::default());
+        let (p2, _) = random_program(7, &SynthConfig::default());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn hot_addresses_collide() {
+        let cfg = SynthConfig {
+            hot_addresses: true,
+            ..SynthConfig::default()
+        };
+        let (p, mem) = random_program(11, &cfg);
+        let t = Trace::capture(&p, mem, 1_000_000).unwrap();
+        // nearly all memory traffic lands in a handful of words
+        use std::collections::HashMap;
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for ev in t.events() {
+            if let Some(ea) = ev.ea {
+                *counts.entry(ea).or_default() += 1;
+            }
+        }
+        if !counts.is_empty() {
+            let top4: u64 = {
+                let mut v: Vec<u64> = counts.values().copied().collect();
+                v.sort_unstable_by(|a, b| b.cmp(a));
+                v.iter().take(4).sum()
+            };
+            let total: u64 = counts.values().sum();
+            assert!(top4 * 2 >= total, "hot addresses should dominate");
+        }
+    }
+
+    #[test]
+    fn chain_and_independent_shapes() {
+        let (chain, m1) = dependency_chain(10);
+        let (ind, m2) = independent_ops(10);
+        let tc = Trace::capture(&chain, m1, 10_000).unwrap();
+        let ti = Trace::capture(&ind, m2, 10_000).unwrap();
+        assert_eq!(tc.len(), 11);
+        assert_eq!(ti.len(), 10);
+    }
+}

@@ -1,0 +1,86 @@
+//! The [`Workload`] record: a program, its initial memory, and its
+//! expected results.
+
+use std::fmt;
+
+use ruu_exec::{ExecError, Memory, Trace};
+use ruu_isa::Program;
+
+/// A check failure from [`Workload::verify`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A checked memory word differs from the mirror computation.
+    Mismatch {
+        /// The memory word address.
+        addr: u64,
+        /// Expected bit pattern (from the Rust mirror).
+        expected: u64,
+        /// Observed bit pattern.
+        got: u64,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Mismatch {
+                addr,
+                expected,
+                got,
+            } => write!(
+                f,
+                "memory[{addr}] = {got:#x} ({}), mirror expected {expected:#x} ({})",
+                f64::from_bits(*got),
+                f64::from_bits(*expected)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A benchmark kernel: program, initial data, and expected outputs.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name, e.g. `"LLL3"`.
+    pub name: &'static str,
+    /// One-line description of the kernel.
+    pub description: &'static str,
+    /// The assembled program.
+    pub program: Program,
+    /// Initial memory (array data).
+    pub memory: Memory,
+    /// `(address, expected bit pattern)` checks computed by the Rust
+    /// mirror of the kernel — every checked word of the result arrays.
+    pub checks: Vec<(u64, u64)>,
+    /// A generous dynamic-instruction bound for simulator runs.
+    pub inst_limit: u64,
+}
+
+impl Workload {
+    /// Verifies a final memory image against the mirror computation.
+    ///
+    /// # Errors
+    /// Returns the first [`VerifyError::Mismatch`] found.
+    pub fn verify(&self, mem: &Memory) -> Result<(), VerifyError> {
+        for &(addr, expected) in &self.checks {
+            let got = mem.read(addr);
+            if got != expected {
+                return Err(VerifyError::Mismatch {
+                    addr,
+                    expected,
+                    got,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the kernel on the golden interpreter and returns its trace.
+    ///
+    /// # Errors
+    /// Propagates interpreter errors.
+    pub fn golden_trace(&self) -> Result<Trace, ExecError> {
+        Trace::capture(&self.program, self.memory.clone(), self.inst_limit)
+    }
+}

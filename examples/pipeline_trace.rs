@@ -1,0 +1,73 @@
+//! A software logic analyser on the RUU's ports: issue, dispatch,
+//! result-bus and commit activity, cycle by cycle, rendered as a
+//! pipeline diagram.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_trace
+//! ```
+
+use ruu::exec::Memory;
+use ruu::isa::{Asm, Reg};
+use ruu::issue::{Bypass, Ruu};
+use ruu::sim::MachineConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A short block with a long-latency reciprocal, dependent work, and
+    // independent work that overtakes it inside the RUU.
+    let mut a = Asm::new("demo");
+    a.a_imm(Reg::a(1), 64); // 0
+    a.ld_s(Reg::s(1), Reg::a(1), 0); // 1: load (11 cycles)
+    a.f_recip(Reg::s(2), Reg::s(1)); // 2: recip (14 cycles), needs the load
+    a.f_mul(Reg::s(3), Reg::s(2), Reg::s(1)); // 3: needs the recip
+    a.a_imm(Reg::a(2), 7); // 4: independent
+    a.a_add(Reg::a(3), Reg::a(2), Reg::a(2)); // 5: independent
+    a.st_s(Reg::s(3), Reg::a(1), 1); // 6: store the result
+    a.halt();
+    let program = a.assemble()?;
+    println!("{program}");
+
+    let mut mem = Memory::new(1 << 8);
+    mem.write_f64(64, 4.0);
+
+    let ruu = Ruu::new(MachineConfig::paper(), 8, Bypass::Full);
+    let (result, trace) = ruu.run_traced(&program, mem, 10_000, 64)?;
+
+    println!(
+        "{} instructions in {} cycles (IPC {:.3})\n",
+        result.instructions,
+        result.cycles,
+        result.issue_rate()
+    );
+    println!("cycle | occ | issue | dispatch   | result bus | commit");
+    println!("------+-----+-------+------------+------------+-----------");
+    for c in &trace.cycles {
+        let fmt = |v: &Vec<u64>| {
+            if v.is_empty() {
+                String::new()
+            } else {
+                v.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        };
+        println!(
+            "{:>5} | {:>3} | {:>5} | {:>10} | {:>10} | {:>9}",
+            c.cycle,
+            c.occupancy,
+            c.issued_pc.map_or(String::new(), |pc| format!("pc{pc}")),
+            fmt(&c.dispatched),
+            fmt(&c.finished),
+            fmt(&c.committed),
+        );
+    }
+    println!();
+    println!(
+        "Read it like the paper's Figure 5: instructions enter in order \
+         (issue), leave for the functional units out of order (dispatch — \
+         watch 4 and 5 overtake 2 and 3), broadcast on the single result \
+         bus, and commit strictly in order — the precise-interrupt \
+         guarantee."
+    );
+    Ok(())
+}

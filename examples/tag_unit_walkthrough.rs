@@ -1,0 +1,58 @@
+//! The paper's Figure 3, step by step: how the Tag Unit hands out tags
+//! for destination registers, tracks the latest copy, and releases tags
+//! when results return.
+//!
+//! ```sh
+//! cargo run --release --example tag_unit_walkthrough
+//! ```
+
+use ruu::isa::Reg;
+use ruu::issue::TagUnitModel;
+
+fn main() {
+    let mut tu = TagUnitModel::figure3();
+    println!("The Tag Unit of paper Figure 3, before issuing anything:\n");
+    println!("{tu}");
+
+    println!("Decode I1: S4 <- S0 + S7 (paper §3.2.1.1)\n");
+
+    // Destination: S4 already has a latest tag (4); a new one is drawn.
+    let dst = tu.acquire_dest(Reg::s(4)).expect("tag 3 is free");
+    println!("1. the issue logic obtains tag {dst} for destination S4;");
+    println!("   tag 4 is told it may update S4 but not unlock it (latest = N).\n");
+
+    // Source S0 is busy: its latest tag travels with the instruction.
+    let s0 = tu.source_tag(Reg::s(0)).expect("S0 is busy");
+    println!("2. S0 is busy, so the reservation station receives tag {s0}");
+    println!("   and will monitor the result bus for it.\n");
+
+    // Source S7 is not busy: read the register file directly.
+    assert!(!tu.is_busy(Reg::s(7)));
+    println!("3. S7 is not busy; its contents go to the station directly.\n");
+
+    println!("{tu}");
+
+    // Later: tag 2 (the producer of S0) returns...
+    let r = tu.retire(s0);
+    println!(
+        "S0's producer (tag {s0}) completes: value forwarded to {}, unlock = {}.",
+        r.register, r.unlock
+    );
+    println!("I1's station captures the value off the result bus and dispatches.\n");
+
+    // ...and I1 itself completes.
+    let r = tu.retire(dst);
+    println!(
+        "I1 (tag {dst}) completes: value forwarded to {}, unlock = {} — tag {dst} is free again.\n",
+        r.register, r.unlock
+    );
+    println!("{tu}");
+
+    // The stale instance (tag 4) eventually completes too — without the key.
+    let r = tu.retire(4);
+    assert!(!r.unlock);
+    println!(
+        "The older S4 instance (tag 4) completes last: it may not unlock {} (no key).",
+        r.register
+    );
+}

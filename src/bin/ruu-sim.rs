@@ -1,0 +1,193 @@
+//! `ruu-sim` — command-line driver for the issue-mechanism simulators.
+//!
+//! ```text
+//! ruu-sim <mechanism> [workload] [--entries N] [--paths N] [--loadregs N]
+//!
+//! mechanisms: simple | tomasulo | tagunit | rspool | rstu |
+//!             ruu | ruu-nobypass | ruu-limited | spec
+//! workload:   LLL1..LLL14 | all          (default: all)
+//! ```
+
+use std::process::ExitCode;
+
+use ruu::exec::Memory;
+use ruu::isa::text;
+use ruu::issue::{Bypass, Mechanism, Predictor, SpecRuu, TwoBit};
+use ruu::sim::MachineConfig;
+use ruu::workloads::{livermore, Workload};
+
+struct Options {
+    mechanism: String,
+    workload: String,
+    entries: usize,
+    paths: u32,
+    loadregs: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mechanism = args.next().ok_or_else(usage)?;
+    let mut opts = Options {
+        mechanism,
+        workload: "all".into(),
+        entries: 15,
+        paths: 1,
+        loadregs: 6,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--entries" => {
+                opts.entries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--entries needs a number")?;
+            }
+            "--paths" => {
+                opts.paths = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--paths needs a number")?;
+            }
+            "--loadregs" => {
+                opts.loadregs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--loadregs needs a number")?;
+            }
+            w if !w.starts_with('-') => opts.workload = w.to_string(),
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> String {
+    "usage: ruu-sim <simple|tomasulo|tagunit|rspool|rstu|ruu|ruu-nobypass|ruu-limited|\n     reorder|reorder-bypass|history|future|spec> [LLL1..LLL14|all|file.s]\n     [--entries N] [--paths N] [--loadregs N]"
+        .to_string()
+}
+
+fn workloads(sel: &str) -> Result<Vec<Workload>, String> {
+    if sel.eq_ignore_ascii_case("all") {
+        Ok(livermore::all())
+    } else if std::path::Path::new(sel)
+        .extension()
+        .is_some_and(|e| e == "s")
+    {
+        // An assembly file in the `ruu::isa::text` syntax; runs against a
+        // zeroed memory with no result checks.
+        let src = std::fs::read_to_string(sel).map_err(|e| format!("{sel}: {e}"))?;
+        let program = text::parse(&src).map_err(|e| format!("{sel}: {e}"))?;
+        Ok(vec![Workload {
+            name: "custom",
+            description: "user assembly file",
+            program,
+            memory: Memory::new(1 << 16),
+            checks: Vec::new(),
+            inst_limit: 100_000_000,
+        }])
+    } else {
+        livermore::by_name(sel)
+            .map(|w| vec![w])
+            .ok_or_else(|| format!("unknown workload {sel}"))
+    }
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let cfg = MachineConfig::paper()
+        .with_dispatch_paths(opts.paths)
+        .with_load_registers(opts.loadregs);
+    let suite = workloads(&opts.workload)?;
+
+    let e = opts.entries;
+    let mechanism = match opts.mechanism.as_str() {
+        "simple" => Some(Mechanism::Simple),
+        "tomasulo" => Some(Mechanism::Tomasulo { rs_per_fu: e.max(1) / 4 + 1 }),
+        "tagunit" => Some(Mechanism::TagUnitDistributed {
+            rs_per_fu: e.max(1) / 4 + 1,
+            tags: e,
+        }),
+        "rspool" => Some(Mechanism::RsPool { rs: e, tags: e }),
+        "rstu" => Some(Mechanism::Rstu { entries: e }),
+        "ruu" => Some(Mechanism::Ruu {
+            entries: e,
+            bypass: Bypass::Full,
+        }),
+        "ruu-nobypass" => Some(Mechanism::Ruu {
+            entries: e,
+            bypass: Bypass::None,
+        }),
+        "ruu-limited" => Some(Mechanism::Ruu {
+            entries: e,
+            bypass: Bypass::LimitedA,
+        }),
+        "reorder" => Some(Mechanism::InOrderPrecise {
+            scheme: ruu::issue::PreciseScheme::ReorderBuffer,
+            entries: e,
+        }),
+        "reorder-bypass" => Some(Mechanism::InOrderPrecise {
+            scheme: ruu::issue::PreciseScheme::ReorderBufferBypass,
+            entries: e,
+        }),
+        "history" => Some(Mechanism::InOrderPrecise {
+            scheme: ruu::issue::PreciseScheme::HistoryBuffer,
+            entries: e,
+        }),
+        "future" => Some(Mechanism::InOrderPrecise {
+            scheme: ruu::issue::PreciseScheme::FutureFile,
+            entries: e,
+        }),
+        "spec" => None,
+        other => return Err(format!("unknown mechanism {other}\n{}", usage())),
+    };
+
+    println!(
+        "| {:<8} | {:>12} | {:>10} | {:>6} |",
+        "loop", "instructions", "cycles", "IPC"
+    );
+    let mut total_i = 0u64;
+    let mut total_c = 0u64;
+    for w in &suite {
+        let (insts, cycles) = match &mechanism {
+            Some(m) => {
+                let r = m
+                    .run(&cfg, &w.program, w.memory.clone(), w.inst_limit)
+                    .map_err(|e| format!("{}: {e}", w.name))?;
+                w.verify(&r.memory).map_err(|e| format!("{}: {e}", w.name))?;
+                (r.instructions, r.cycles)
+            }
+            None => {
+                let mut pred: Box<dyn Predictor> = Box::new(TwoBit::default());
+                let r = SpecRuu::new(cfg.clone(), e, Bypass::Full)
+                    .run(&w.program, w.memory.clone(), w.inst_limit, pred.as_mut())
+                    .map_err(|e| format!("{}: {e}", w.name))?;
+                w.verify(&r.run.memory)
+                    .map_err(|e| format!("{}: {e}", w.name))?;
+                (r.run.instructions, r.run.cycles)
+            }
+        };
+        total_i += insts;
+        total_c += cycles;
+        println!(
+            "| {:<8} | {insts:>12} | {cycles:>10} | {:>6.3} |",
+            w.name,
+            insts as f64 / cycles as f64
+        );
+    }
+    println!(
+        "| {:<8} | {total_i:>12} | {total_c:>10} | {:>6.3} |",
+        "total",
+        total_i as f64 / total_c as f64
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # ruu — facade crate for the RUU reproduction
+//!
+//! Re-exports the whole workspace behind one dependency. See the individual
+//! crates for detail:
+//!
+//! * [`isa`] — the CRAY-1-like scalar ISA;
+//! * [`exec`] — the golden architectural interpreter;
+//! * [`workloads`] — Lawrence Livermore loops 1–14 and synthetic programs;
+//! * [`sim`] — the timing-simulation substrate;
+//! * [`issue`] — the issue mechanisms (simple, Tomasulo, tag unit, RS pool,
+//!   RSTU, RUU);
+//! * [`precise`] — precise-interrupt machinery and the speculation
+//!   extension.
+
+pub use ruu_exec as exec;
+pub use ruu_isa as isa;
+pub use ruu_issue as issue;
+pub use ruu_precise as precise;
+pub use ruu_sim_core as sim;
+pub use ruu_workloads as workloads;

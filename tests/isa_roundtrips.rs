@@ -1,0 +1,59 @@
+//! Round-trip properties of the ISA's binary encoding and textual
+//! assembly, over the full Livermore suite and random programs.
+
+use proptest::prelude::*;
+
+use ruu::isa::{encoding, text};
+use ruu::workloads::livermore;
+use ruu::workloads::synth::{random_program, SynthConfig};
+
+#[test]
+fn every_livermore_kernel_survives_binary_roundtrip() {
+    for w in livermore::all() {
+        let parcels = encoding::encode_program(&w.program)
+            .unwrap_or_else(|e| panic!("{} failed to encode: {e}", w.name));
+        let back = encoding::decode_program(w.name, &parcels)
+            .unwrap_or_else(|e| panic!("{} failed to decode: {e}", w.name));
+        assert_eq!(w.program.len(), back.len(), "{}", w.name);
+        for (x, y) in w.program.iter().zip(back.iter()) {
+            assert_eq!(x, y, "{}", w.name);
+        }
+        // Paper §2: instructions are 1 or 2 parcels; the footprint lies
+        // between n and 2n.
+        let n = w.program.len();
+        assert!((n..=2 * n).contains(&parcels.len()), "{}", w.name);
+    }
+}
+
+#[test]
+fn every_livermore_kernel_survives_text_roundtrip() {
+    for w in livermore::all() {
+        let src = text::emit(&w.program);
+        let back = text::parse(&src)
+            .unwrap_or_else(|e| panic!("{} failed to re-parse: {e}", w.name));
+        assert_eq!(w.program, back, "{}", w.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_survive_binary_roundtrip(seed in 0u64..100_000) {
+        let (p, _) = random_program(seed, &SynthConfig::default());
+        let parcels = encoding::encode_program(&p).expect("synth programs encode");
+        let back = encoding::decode_program("t", &parcels).expect("decode");
+        prop_assert_eq!(p.len(), back.len());
+        for (x, y) in p.iter().zip(back.iter()) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn random_programs_survive_text_roundtrip(seed in 0u64..100_000) {
+        let (p, _) = random_program(seed, &SynthConfig::default());
+        let src = text::emit(&p);
+        let back = text::parse(&src).expect("emit output parses");
+        prop_assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end precise-interrupt properties (the paper's central claim):
+//! at *any* faultable dynamic instruction of *any* program, the RUU
+//! recovers a state equal to the golden program-order boundary and can
+//! resume to the exact golden final state — while the out-of-order-commit
+//! mechanisms demonstrably cannot.
+
+use proptest::prelude::*;
+
+use ruu::exec::Trace;
+use ruu::issue::{Bypass, WindowKind};
+use ruu::precise::{fault_points, imprecision, FaultKind, PrecisionCheck};
+use ruu::sim::MachineConfig;
+use ruu::workloads::livermore;
+use ruu::workloads::synth::{random_program, SynthConfig};
+
+#[test]
+fn page_faults_are_precise_across_the_suite() {
+    // A few loads per loop, spread across the run.
+    for w in livermore::all() {
+        let trace = w.golden_trace().unwrap();
+        let loads = fault_points(&trace, FaultKind::PageFault);
+        assert!(!loads.is_empty(), "{} has loads", w.name);
+        let picks = [loads[0], loads[loads.len() / 2], *loads.last().unwrap()];
+        let check = PrecisionCheck::new(12, Bypass::Full);
+        for &seq in &picks {
+            let r = check
+                .run(&w.program, &w.memory, seq)
+                .unwrap_or_else(|e| panic!("{} at {seq}: {e}", w.name));
+            assert!(r.all_precise(), "{} at {seq}: {r:?}", w.name);
+        }
+    }
+}
+
+#[test]
+fn arithmetic_faults_are_precise() {
+    let w = livermore::lll7();
+    let trace = w.golden_trace().unwrap();
+    let flops = fault_points(&trace, FaultKind::Arithmetic);
+    let check = PrecisionCheck::new(20, Bypass::LimitedA);
+    for &seq in &[flops[1], flops[flops.len() / 3]] {
+        let r = check.run(&w.program, &w.memory, seq).unwrap();
+        assert!(r.all_precise(), "at {seq}: {r:?}");
+    }
+}
+
+#[test]
+fn every_imprecise_mechanism_is_caught() {
+    let cfg = MachineConfig::paper();
+    for kind in [
+        WindowKind::Distributed { rs_per_fu: 3 },
+        WindowKind::TagUnitDistributed {
+            rs_per_fu: 3,
+            tags: 10,
+        },
+        WindowKind::Pooled { rs: 6, tags: 10 },
+        WindowKind::Merged { entries: 8 },
+    ] {
+        let e = imprecision::demonstrate(&cfg, kind).unwrap();
+        assert!(e.is_imprecise(), "{kind:?} should be imprecise");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The precise-interrupt property on random programs at random fault
+    /// points, across window sizes and bypass policies.
+    #[test]
+    fn random_fault_points_are_precise(
+        seed in 0u64..10_000,
+        entries in 2usize..20,
+        pick in 0usize..1000,
+        bypass_sel in 0usize..3,
+    ) {
+        let (program, mem) = random_program(seed, &SynthConfig::default());
+        let trace = Trace::capture(&program, mem.clone(), 500_000).expect("golden runs");
+        let points = fault_points(&trace, FaultKind::Any);
+        prop_assume!(!points.is_empty());
+        let seq = points[pick % points.len()];
+        let bypass = [Bypass::Full, Bypass::None, Bypass::LimitedA][bypass_sel];
+        let mut check = PrecisionCheck::new(entries, bypass);
+        check.inst_limit = 500_000;
+        let r = check.run(&program, &mem, seq)
+            .unwrap_or_else(|e| panic!("seed {seed}, fault {seq}: {e}"));
+        prop_assert!(r.all_precise(), "seed {} fault {}: {:?}", seed, seq, r);
+    }
+}
