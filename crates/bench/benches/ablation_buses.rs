@@ -2,30 +2,44 @@
 //! result bus (§2) where the real CRAY-1 had separate address/scalar
 //! result paths — this sweep quantifies what the single bus costs.
 //!
+//! The whole (bus count × mechanism) grid goes through one engine
+//! [`ruu_engine::SweepEngine::run_grid`] call, so every cell runs in
+//! parallel and each bus count's simple-issue baseline is computed once.
+//!
 //! Run with `cargo bench -p ruu-bench --bench ablation_buses`.
 
 use ruu_bench::{harness, report};
+use ruu_engine::Job;
 use ruu_issue::{Bypass, Mechanism};
 use ruu_sim_core::MachineConfig;
 
 fn main() {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for buses in [1u32, 2, 3] {
         let cfg = MachineConfig::paper().with_result_buses(buses);
-        for (label, m) in [
-            (format!("simple, {buses} bus(es)"), Mechanism::Simple),
-            (
-                format!("RUU(15, bypass), {buses} bus(es)"),
+        jobs.push(
+            Job::new(Mechanism::Simple, cfg.clone()).with_label(format!("simple, {buses} bus(es)")),
+        );
+        jobs.push(
+            Job::new(
                 Mechanism::Ruu {
                     entries: 15,
                     bypass: Bypass::Full,
                 },
-            ),
-        ] {
-            let pts = harness::sweep(&cfg, &[15], |_| m);
-            rows.push((label, pts[0].speedup, pts[0].issue_rate));
-        }
+                cfg,
+            )
+            .with_label(format!("RUU(15, bypass), {buses} bus(es)")),
+        );
     }
+    let grid = harness::engine().run_grid(&jobs).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let rows: Vec<(String, f64, f64)> = grid
+        .jobs
+        .iter()
+        .map(|j| (j.label.clone(), j.speedup, j.issue_rate))
+        .collect();
     print!(
         "{}",
         report::format_plain_sweep("Ablation A4 — result buses", "configuration", &rows)
@@ -35,4 +49,5 @@ fn main() {
         "Note: speedups are relative to the 1-bus simple baseline within each bus count's \
          own sweep; compare issue rates across rows."
     );
+    println!("{}", report::format_engine_stats(&grid.stats));
 }

@@ -2,26 +2,43 @@
 //! paper used 3 bits (up to 7 in-flight instances of one register) and
 //! reports that issue never blocked on an unavailable instance (§5.1).
 //!
+//! The whole counter-width grid goes through one engine
+//! [`ruu_engine::SweepEngine::run_grid`] call, so every configuration's
+//! suite runs in parallel.
+//!
 //! Run with `cargo bench -p ruu-bench --bench ablation_counters`.
 
 use ruu_bench::{harness, report};
+use ruu_engine::Job;
 use ruu_issue::{Bypass, Mechanism};
 use ruu_sim_core::MachineConfig;
 
 fn main() {
-    let mut rows = Vec::new();
-    for bits in [1u32, 2, 3, 4] {
-        let cfg = MachineConfig::paper().with_counter_bits(bits);
-        let pts = harness::sweep(&cfg, &[20], |entries| Mechanism::Ruu {
-            entries,
-            bypass: Bypass::Full,
-        });
-        rows.push((
-            format!("{bits}-bit counters (max {} instances)", (1u32 << bits) - 1),
-            pts[0].speedup,
-            pts[0].issue_rate,
-        ));
-    }
+    let jobs: Vec<Job> = [1u32, 2, 3, 4]
+        .iter()
+        .map(|&bits| {
+            Job::new(
+                Mechanism::Ruu {
+                    entries: 20,
+                    bypass: Bypass::Full,
+                },
+                MachineConfig::paper().with_counter_bits(bits),
+            )
+            .with_label(format!(
+                "{bits}-bit counters (max {} instances)",
+                (1u32 << bits) - 1
+            ))
+        })
+        .collect();
+    let grid = harness::engine().run_grid(&jobs).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let rows: Vec<(String, f64, f64)> = grid
+        .jobs
+        .iter()
+        .map(|j| (j.label.clone(), j.speedup, j.issue_rate))
+        .collect();
     print!(
         "{}",
         report::format_plain_sweep(
@@ -31,5 +48,8 @@ fn main() {
         )
     );
     println!();
-    println!("Expectation (paper §5.1): 3 bits never block; 1 bit serialises same-register writes.");
+    println!(
+        "Expectation (paper §5.1): 3 bits never block; 1 bit serialises same-register writes."
+    );
+    println!("{}", report::format_engine_stats(&grid.stats));
 }

@@ -4,30 +4,45 @@
 //! fills the window at one instruction per cycle (§3.2.3.1). This sweep
 //! extends the experiment to the RUU and to 4 paths.
 //!
+//! The whole (paths × mechanism) grid goes through one engine
+//! [`ruu_engine::SweepEngine::run_grid`] call, so every cell runs in
+//! parallel and each path count's simple-issue baseline is computed once.
+//!
 //! Run with `cargo bench -p ruu-bench --bench ablation_paths`.
 
 use ruu_bench::{harness, report};
+use ruu_engine::Job;
 use ruu_issue::{Bypass, Mechanism};
 use ruu_sim_core::MachineConfig;
 
 fn main() {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for paths in [1u32, 2, 4] {
         let cfg = MachineConfig::paper().with_dispatch_paths(paths);
-        for (label, m) in [
-            (format!("RSTU(10), {paths} path(s)"), Mechanism::Rstu { entries: 10 }),
-            (
-                format!("RUU(10, bypass), {paths} path(s)"),
+        jobs.push(
+            Job::new(Mechanism::Rstu { entries: 10 }, cfg.clone())
+                .with_label(format!("RSTU(10), {paths} path(s)")),
+        );
+        jobs.push(
+            Job::new(
                 Mechanism::Ruu {
                     entries: 10,
                     bypass: Bypass::Full,
                 },
-            ),
-        ] {
-            let pts = harness::sweep(&cfg, &[10], |_| m);
-            rows.push((label, pts[0].speedup, pts[0].issue_rate));
-        }
+                cfg,
+            )
+            .with_label(format!("RUU(10, bypass), {paths} path(s)")),
+        );
     }
+    let grid = harness::engine().run_grid(&jobs).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let rows: Vec<(String, f64, f64)> = grid
+        .jobs
+        .iter()
+        .map(|j| (j.label.clone(), j.speedup, j.issue_rate))
+        .collect();
     print!(
         "{}",
         report::format_plain_sweep(
@@ -41,4 +56,5 @@ fn main() {
         "Expectation (paper §3.2.3.1): the decode stage fills the window at ≤1 \
          instruction/cycle, so extra drain paths help only marginally."
     );
+    println!("{}", report::format_engine_stats(&grid.stats));
 }

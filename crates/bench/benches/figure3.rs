@@ -23,7 +23,11 @@ fn main() {
     println!("  - source S0 is busy: forwarded tag {s0} to the reservation station");
     println!(
         "  - source S7 is {} -> its contents are read from the register file",
-        if tu.is_busy(Reg::s(7)) { "busy" } else { "free" }
+        if tu.is_busy(Reg::s(7)) {
+            "busy"
+        } else {
+            "free"
+        }
     );
     println!();
     println!("State after issue:");

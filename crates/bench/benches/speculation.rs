@@ -63,7 +63,8 @@ fn main() {
                 let r = SpecRuu::new(cfg.clone(), entries, Bypass::Full)
                     .run(&w.program, w.memory.clone(), w.inst_limit, p.as_mut())
                     .expect("speculative RUU runs");
-                w.verify(&r.run.memory).expect("speculative result verifies");
+                w.verify(&r.run.memory)
+                    .expect("speculative result verifies");
                 cycles += r.run.cycles;
                 insts += r.run.instructions;
                 predicted += r.spec.predicted;

@@ -3,14 +3,19 @@
 //!
 //! Run with `cargo bench -p ruu-bench --bench table2`.
 
-use ruu_bench::{paper, report, sweep};
+use ruu_bench::{harness, paper, report};
 use ruu_issue::Mechanism;
 use ruu_sim_core::MachineConfig;
 
 fn main() {
     let cfg = MachineConfig::paper();
     let entries: Vec<usize> = paper::TABLE2.iter().map(|&(e, ..)| e).collect();
-    let pts = sweep(&cfg, &entries, |entries| Mechanism::Rstu { entries });
+    let (pts, stats) =
+        harness::try_sweep_report(&cfg, &entries, |entries| Mechanism::Rstu { entries })
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
     print!(
         "{}",
         report::format_sweep(
@@ -19,4 +24,6 @@ fn main() {
             &paper::TABLE2
         )
     );
+    println!();
+    println!("{}", report::format_engine_stats(&stats));
 }

@@ -3,16 +3,20 @@
 //!
 //! Run with `cargo bench -p ruu-bench --bench table6`.
 
-use ruu_bench::{paper, report, sweep};
+use ruu_bench::{harness, paper, report};
 use ruu_issue::{Bypass, Mechanism};
 use ruu_sim_core::MachineConfig;
 
 fn main() {
     let cfg = MachineConfig::paper();
     let entries: Vec<usize> = paper::TABLE6.iter().map(|&(e, ..)| e).collect();
-    let pts = sweep(&cfg, &entries, |entries| Mechanism::Ruu {
+    let (pts, stats) = harness::try_sweep_report(&cfg, &entries, |entries| Mechanism::Ruu {
         entries,
         bypass: Bypass::LimitedA,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     });
     print!(
         "{}",
@@ -22,4 +26,6 @@ fn main() {
             &paper::TABLE6
         )
     );
+    println!();
+    println!("{}", report::format_engine_stats(&stats));
 }

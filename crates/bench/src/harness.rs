@@ -1,9 +1,99 @@
 //! Sweep harness: runs the Livermore suite under any mechanism and
 //! aggregates the paper's metrics.
+//!
+//! Since the `ruu-engine` rewire, all sweeps execute on a shared
+//! [`SweepEngine`]: the Livermore suite is assembled once per process,
+//! jobs fan out across a scoped worker pool, and simple-issue baseline
+//! cycles are memoized per machine configuration. Worker count defaults
+//! to the host's hardware threads and can be pinned with the
+//! `RUU_BENCH_JOBS` environment variable (`1` recovers serial
+//! execution). Numbers are bit-identical for any worker count.
+//!
+//! Every entry point comes in two flavours: a `try_*` function returning
+//! `Result<_, HarnessError>` (workload-verification failures and
+//! simulator errors are typed, not panics) and a thin panicking shim
+//! with the legacy name, kept for the existing bench targets.
 
-use ruu_issue::Mechanism;
+use std::fmt;
+use std::sync::OnceLock;
+
+use ruu_engine::{EngineError, EngineStats, Job, SweepEngine};
+use ruu_issue::{Mechanism, SimError};
 use ruu_sim_core::MachineConfig;
-use ruu_workloads::{livermore, Workload};
+use ruu_workloads::{livermore, VerifyError};
+
+/// A typed failure from a harness run.
+#[derive(Debug, Clone)]
+pub enum HarnessError {
+    /// The simulator failed (instruction limit, deadlock guard).
+    Sim {
+        /// Mechanism (job label) that failed.
+        mechanism: String,
+        /// Workload the failure occurred on.
+        workload: &'static str,
+        /// The underlying simulator error.
+        err: SimError,
+    },
+    /// A simulation completed but its memory image failed the workload's
+    /// mirror verification.
+    Verify {
+        /// Mechanism (job label) that failed.
+        mechanism: String,
+        /// Workload the failure occurred on.
+        workload: &'static str,
+        /// The underlying verification error.
+        err: VerifyError,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Sim {
+                mechanism,
+                workload,
+                err,
+            } => write!(f, "{mechanism} failed on {workload}: {err}"),
+            HarnessError::Verify {
+                mechanism,
+                workload,
+                err,
+            } => write!(f, "{mechanism} wrong result on {workload}: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<EngineError> for HarnessError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Sim { job, workload, err } => HarnessError::Sim {
+                mechanism: job,
+                workload,
+                err,
+            },
+            EngineError::Verify { job, workload, err } => HarnessError::Verify {
+                mechanism: job,
+                workload,
+                err,
+            },
+        }
+    }
+}
+
+/// The process-wide sweep engine: Livermore suite assembled once,
+/// baseline cycles memoized across every table and ablation target.
+pub fn engine() -> &'static SweepEngine {
+    static ENGINE: OnceLock<SweepEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let workers = std::env::var("RUU_BENCH_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        SweepEngine::livermore().with_workers(workers)
+    })
+}
 
 /// One row of a Table-1-style baseline report.
 #[derive(Debug, Clone)]
@@ -39,73 +129,148 @@ pub struct SweepPoint {
     pub issue_rate: f64,
 }
 
-fn run_suite(mechanism: Mechanism, config: &MachineConfig, suite: &[Workload]) -> (u64, u64) {
-    let mut cycles = 0;
-    let mut insts = 0;
-    for w in suite {
-        let r = mechanism
-            .run(config, &w.program, w.memory.clone(), w.inst_limit)
-            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", mechanism, w.name));
-        w.verify(&r.memory)
-            .unwrap_or_else(|e| panic!("{} wrong result on {}: {e}", mechanism, w.name));
-        cycles += r.cycles;
-        insts += r.instructions;
-    }
-    (cycles, insts)
-}
-
 /// Runs the baseline (simple issue) over the full Livermore suite,
 /// returning per-loop rows plus a `Total` row (paper Table 1).
-#[must_use]
-pub fn baseline_rows(config: &MachineConfig) -> Vec<BaselineRow> {
-    let mut rows = Vec::new();
-    let mut total_i = 0;
-    let mut total_c = 0;
-    for w in livermore::all() {
-        let r = Mechanism::Simple
-            .run(config, &w.program, w.memory.clone(), w.inst_limit)
-            .unwrap_or_else(|e| panic!("baseline failed on {}: {e}", w.name));
-        w.verify(&r.memory)
-            .unwrap_or_else(|e| panic!("baseline wrong result on {}: {e}", w.name));
-        total_i += r.instructions;
-        total_c += r.cycles;
-        rows.push(BaselineRow {
-            name: w.name,
+///
+/// # Errors
+/// Propagates the first failing loop as a [`HarnessError`].
+pub fn try_baseline_rows(config: &MachineConfig) -> Result<Vec<BaselineRow>, HarnessError> {
+    let mut rows: Vec<BaselineRow> = engine()
+        .workload_rows(Mechanism::Simple, config)?
+        .into_iter()
+        .map(|r| BaselineRow {
+            name: r.name,
             instructions: r.instructions,
             cycles: r.cycles,
-        });
-    }
+        })
+        .collect();
+    let total_i = rows.iter().map(|r| r.instructions).sum();
+    let total_c = rows.iter().map(|r| r.cycles).sum();
     rows.push(BaselineRow {
         name: "Total",
         instructions: total_i,
         cycles: total_c,
     });
-    rows
+    Ok(rows)
+}
+
+/// Panicking shim over [`try_baseline_rows`] for bench targets.
+///
+/// # Panics
+/// Panics on any simulator or verification failure.
+#[must_use]
+pub fn baseline_rows(config: &MachineConfig) -> Vec<BaselineRow> {
+    try_baseline_rows(config).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Total baseline cycles over the suite (the denominator of every
-/// "relative speedup" in the paper).
+/// "relative speedup" in the paper), memoized per configuration.
+///
+/// # Errors
+/// Propagates the first failing loop as a [`HarnessError`].
+pub fn try_baseline_total_cycles(config: &MachineConfig) -> Result<u64, HarnessError> {
+    Ok(engine().baseline_cycles(config)?)
+}
+
+/// Panicking shim over [`try_baseline_total_cycles`].
+///
+/// # Panics
+/// Panics on any simulator or verification failure.
 #[must_use]
 pub fn baseline_total_cycles(config: &MachineConfig) -> u64 {
-    baseline_rows(config)
-        .last()
-        .expect("total row is always present")
-        .cycles
+    try_baseline_total_cycles(config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Sweeps a mechanism over window sizes on the shared engine, also
+/// returning the engine's execution stats (wall clock, units/sec).
+///
+/// # Errors
+/// Propagates the first failing (mechanism, workload) unit.
+pub fn try_sweep_report(
+    config: &MachineConfig,
+    entries_list: &[usize],
+    make: impl Fn(usize) -> Mechanism,
+) -> Result<(Vec<SweepPoint>, EngineStats), HarnessError> {
+    let jobs: Vec<Job> = entries_list
+        .iter()
+        .map(|&entries| Job::new(make(entries), config.clone()))
+        .collect();
+    let report = engine().run_grid(&jobs)?;
+    let points = entries_list
+        .iter()
+        .zip(&report.jobs)
+        .map(|(&entries, j)| SweepPoint {
+            entries,
+            cycles: j.cycles,
+            instructions: j.instructions,
+            speedup: j.speedup,
+            issue_rate: j.issue_rate,
+        })
+        .collect();
+    Ok((points, report.stats))
 }
 
 /// Sweeps a mechanism over window sizes, reporting paper-style speedup
 /// (vs. the simple-issue baseline) and aggregate issue rate.
+///
+/// # Errors
+/// Propagates the first failing (mechanism, workload) unit.
+pub fn try_sweep(
+    config: &MachineConfig,
+    entries_list: &[usize],
+    make: impl Fn(usize) -> Mechanism,
+) -> Result<Vec<SweepPoint>, HarnessError> {
+    try_sweep_report(config, entries_list, make).map(|(points, _)| points)
+}
+
+/// Panicking shim over [`try_sweep`] for bench targets.
+///
+/// # Panics
+/// Panics on any simulator or verification failure.
 #[must_use]
 pub fn sweep(
     config: &MachineConfig,
     entries_list: &[usize],
     make: impl Fn(usize) -> Mechanism,
 ) -> Vec<SweepPoint> {
+    try_sweep(config, entries_list, make).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The legacy serial sweep: a plain loop over `Mechanism::run`, with its
+/// own baseline pass and no engine, no pool, and no caches. Kept as the
+/// independent reference the `engine_determinism` integration test
+/// compares the parallel engine against bit-for-bit.
+///
+/// # Panics
+/// Panics on any simulator or verification failure (the historical
+/// behaviour).
+#[must_use]
+pub fn sweep_serial(
+    config: &MachineConfig,
+    entries_list: &[usize],
+    make: impl Fn(usize) -> Mechanism,
+) -> Vec<SweepPoint> {
+    fn run_suite(
+        mechanism: Mechanism,
+        config: &MachineConfig,
+        suite: &[ruu_workloads::Workload],
+    ) -> (u64, u64) {
+        let mut cycles = 0;
+        let mut insts = 0;
+        for w in suite {
+            let r = mechanism
+                .run(config, &w.program, w.memory.clone(), w.inst_limit)
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", mechanism, w.name));
+            w.verify(&r.memory)
+                .unwrap_or_else(|e| panic!("{} wrong result on {}: {e}", mechanism, w.name));
+            cycles += r.cycles;
+            insts += r.instructions;
+        }
+        (cycles, insts)
+    }
+
     let suite = livermore::all();
-    let baseline = {
-        let (c, _) = run_suite(Mechanism::Simple, config, &suite);
-        c
-    };
+    let (baseline, _) = run_suite(Mechanism::Simple, config, &suite);
     entries_list
         .iter()
         .map(|&entries| {
@@ -144,5 +309,22 @@ mod tests {
         });
         assert_eq!(pts.len(), 1);
         assert!(pts[0].speedup > 0.5 && pts[0].speedup < 3.0);
+    }
+
+    #[test]
+    fn try_sweep_surfaces_errors_instead_of_panicking() {
+        // An impossible mechanism size: a 0-entry RSTU deadlocks issue
+        // immediately, which the simulator reports as an error the
+        // harness must surface (not panic on).
+        let cfg = MachineConfig::paper();
+        let result = try_sweep(&cfg, &[0], |entries| Mechanism::Rstu { entries });
+        assert!(matches!(result, Err(HarnessError::Sim { .. })));
+    }
+
+    #[test]
+    fn baseline_total_matches_rows() {
+        let cfg = MachineConfig::paper();
+        let rows = baseline_rows(&cfg);
+        assert_eq!(baseline_total_cycles(&cfg), rows[14].cycles);
     }
 }

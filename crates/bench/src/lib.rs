@@ -18,9 +18,16 @@
 //! The library half holds the harness (workload sweeps), the paper's
 //! published numbers ([`paper`]), and table formatting, so integration
 //! tests can assert the *shape* of each reproduced result.
+//!
+//! Sweeps execute on the shared parallel [`ruu_engine::SweepEngine`]
+//! (see [`harness::engine`]); set `RUU_BENCH_JOBS=1` to force serial
+//! execution. Results are bit-identical for any worker count.
 
 pub mod harness;
 pub mod paper;
 pub mod report;
 
-pub use harness::{baseline_rows, sweep, BaselineRow, SweepPoint};
+pub use harness::{
+    baseline_rows, baseline_total_cycles, engine, sweep, sweep_serial, try_baseline_rows,
+    try_baseline_total_cycles, try_sweep, try_sweep_report, BaselineRow, HarnessError, SweepPoint,
+};

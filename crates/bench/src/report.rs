@@ -39,7 +39,11 @@ pub fn format_table1(rows: &[BaselineRow]) -> String {
 /// Formats a sweep table (Tables 2–6 style) with the paper's numbers
 /// alongside.
 #[must_use]
-pub fn format_sweep(title: &str, points: &[SweepPoint], paper_table: &[(usize, f64, f64)]) -> String {
+pub fn format_sweep(
+    title: &str,
+    points: &[SweepPoint],
+    paper_table: &[(usize, f64, f64)],
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "### {title}");
@@ -60,6 +64,15 @@ pub fn format_sweep(title: &str, points: &[SweepPoint], paper_table: &[(usize, f
         );
     }
     out
+}
+
+/// Formats the engine's execution statistics for a sweep footer.
+#[must_use]
+pub fn format_engine_stats(stats: &ruu_engine::EngineStats) -> String {
+    format!(
+        "engine: {} jobs ({} units) on {} workers in {:.1?} ({:.1} jobs/s, {:.1} units/s)",
+        stats.jobs, stats.units, stats.workers, stats.wall, stats.jobs_per_sec, stats.units_per_sec,
+    )
 }
 
 /// Formats a plain sweep table with no paper reference (ablations).

@@ -156,14 +156,28 @@ impl Asm {
     pub fn a_add_imm(&mut self, d: Reg, j: Reg, imm: i64) -> &mut Self {
         Self::check(RegFile::A, d, "dst");
         Self::check(RegFile::A, j, "src1");
-        self.push(Inst::new(Opcode::AAddImm, Some(d), Some(j), None, imm, None))
+        self.push(Inst::new(
+            Opcode::AAddImm,
+            Some(d),
+            Some(j),
+            None,
+            imm,
+            None,
+        ))
     }
 
     /// `Ai = Aj - imm`
     pub fn a_sub_imm(&mut self, d: Reg, j: Reg, imm: i64) -> &mut Self {
         Self::check(RegFile::A, d, "dst");
         Self::check(RegFile::A, j, "src1");
-        self.push(Inst::new(Opcode::ASubImm, Some(d), Some(j), None, imm, None))
+        self.push(Inst::new(
+            Opcode::ASubImm,
+            Some(d),
+            Some(j),
+            None,
+            imm,
+            None,
+        ))
     }
 
     /// `Ai = Aj * Ak` (address multiply)
@@ -339,14 +353,28 @@ impl Asm {
     pub fn ld_a(&mut self, d: Reg, base: Reg, disp: i64) -> &mut Self {
         Self::check(RegFile::A, d, "dst");
         Self::check(RegFile::A, base, "base");
-        self.push(Inst::new(Opcode::LoadA, Some(d), Some(base), None, disp, None))
+        self.push(Inst::new(
+            Opcode::LoadA,
+            Some(d),
+            Some(base),
+            None,
+            disp,
+            None,
+        ))
     }
 
     /// `Si = mem[Ah + disp]`
     pub fn ld_s(&mut self, d: Reg, base: Reg, disp: i64) -> &mut Self {
         Self::check(RegFile::S, d, "dst");
         Self::check(RegFile::A, base, "base");
-        self.push(Inst::new(Opcode::LoadS, Some(d), Some(base), None, disp, None))
+        self.push(Inst::new(
+            Opcode::LoadS,
+            Some(d),
+            Some(base),
+            None,
+            disp,
+            None,
+        ))
     }
 
     /// `mem[Ah + disp] = Ai`

@@ -132,8 +132,8 @@ fn opcode_number(op: Opcode) -> u16 {
 pub fn parcel_count(op: Opcode) -> usize {
     use Opcode::*;
     match op {
-        AAddImm | ASubImm | AImm | SImm | SShl | SShr | LoadA | LoadS | StoreA | StoreS
-        | Jump | BrAZ | BrAN | BrAP | BrAM | BrSZ | BrSN | BrSP | BrSM => 2,
+        AAddImm | ASubImm | AImm | SImm | SShl | SShr | LoadA | LoadS | StoreA | StoreS | Jump
+        | BrAZ | BrAN | BrAP | BrAM | BrSZ | BrSN | BrSP | BrSM => 2,
         _ => 1,
     }
 }
@@ -267,10 +267,38 @@ pub fn decode_inst(parcels: &[u16]) -> Result<(Inst, usize), DecodeError> {
         AtoS => Inst::new(op, Some(s(f1)), Some(a(f2)), None, 0, None),
         StoA => Inst::new(op, Some(a(f1)), Some(s(f2)), None, 0, None),
         SPop | SLz => Inst::new(op, Some(a(f1)), Some(s(f2)), None, 0, None),
-        AtoB => Inst::new(op, Some(Reg::new(RegFile::B, jk as u8)), Some(a(f1)), None, 0, None),
-        StoT => Inst::new(op, Some(Reg::new(RegFile::T, jk as u8)), Some(s(f1)), None, 0, None),
-        BtoA => Inst::new(op, Some(a(f1)), Some(Reg::new(RegFile::B, jk as u8)), None, 0, None),
-        TtoS => Inst::new(op, Some(s(f1)), Some(Reg::new(RegFile::T, jk as u8)), None, 0, None),
+        AtoB => Inst::new(
+            op,
+            Some(Reg::new(RegFile::B, jk as u8)),
+            Some(a(f1)),
+            None,
+            0,
+            None,
+        ),
+        StoT => Inst::new(
+            op,
+            Some(Reg::new(RegFile::T, jk as u8)),
+            Some(s(f1)),
+            None,
+            0,
+            None,
+        ),
+        BtoA => Inst::new(
+            op,
+            Some(a(f1)),
+            Some(Reg::new(RegFile::B, jk as u8)),
+            None,
+            0,
+            None,
+        ),
+        TtoS => Inst::new(
+            op,
+            Some(s(f1)),
+            Some(Reg::new(RegFile::T, jk as u8)),
+            None,
+            0,
+            None,
+        ),
         AAddImm | ASubImm => Inst::new(op, Some(a(f1)), Some(a(f2)), None, imm16, None),
         SShl | SShr => Inst::new(op, Some(s(f1)), Some(s(f2)), None, imm16, None),
         AImm => Inst::new(op, Some(a(f1)), None, None, imm22, None),
@@ -389,7 +417,14 @@ mod tests {
             encode_inst(&too_big),
             Err(EncodeError::ImmOutOfRange { .. })
         ));
-        let fits = Inst::new(Opcode::SImm, Some(Reg::s(1)), None, None, (1 << 21) - 1, None);
+        let fits = Inst::new(
+            Opcode::SImm,
+            Some(Reg::s(1)),
+            None,
+            None,
+            (1 << 21) - 1,
+            None,
+        );
         let parcels = encode_inst(&fits).unwrap();
         let (back, _) = decode_inst(&parcels).unwrap();
         assert_eq!(back.imm, (1 << 21) - 1);

@@ -40,8 +40,8 @@ pub fn alu_result(op: Opcode, s1: u64, s2: u64, imm: i64) -> u64 {
         FMul => value::from_f64(value::as_f64(s1) * value::as_f64(s2)),
         FRecip => value::from_f64(recip_approx(value::as_f64(s1))),
         AtoB | BtoA | StoT | TtoS | AtoS | StoA => s1,
-        LoadA | LoadS | StoreA | StoreS | Jump | BrAZ | BrAN | BrAP | BrAM | BrSZ | BrSN
-        | BrSP | BrSM | Nop | Halt => {
+        LoadA | LoadS | StoreA | StoreS | Jump | BrAZ | BrAN | BrAP | BrAM | BrSZ | BrSN | BrSP
+        | BrSM | Nop | Halt => {
             panic!("opcode {op} has no ALU result")
         }
     }

@@ -101,11 +101,7 @@ pub fn parse(source: &str) -> Result<Program, ParseError> {
     let mut bound: Vec<String> = Vec::new();
 
     // The assembler wants a fresh label id per name; create lazily.
-    fn label_for(
-        asm: &mut Asm,
-        labels: &mut HashMap<String, Label>,
-        name: &str,
-    ) -> Label {
+    fn label_for(asm: &mut Asm, labels: &mut HashMap<String, Label>, name: &str) -> Label {
         if let Some(&l) = labels.get(name) {
             l
         } else {
@@ -162,7 +158,10 @@ pub fn parse(source: &str) -> Result<Program, ParseError> {
             } else {
                 Err(err(
                     line,
-                    format!("operand {} of {mnemonic} must be an {file} register, got {r}", i + 1),
+                    format!(
+                        "operand {} of {mnemonic} must be an {file} register, got {r}",
+                        i + 1
+                    ),
                 ))
             }
         };
@@ -293,8 +292,7 @@ pub fn parse(source: &str) -> Result<Program, ParseError> {
                 want(3)?;
                 asm.st_s(sreg(0)?, areg(1)?, imm(2)?);
             }
-            "j" | "br.az" | "br.an" | "br.ap" | "br.am" | "br.sz" | "br.sn" | "br.sp"
-            | "br.sm" => {
+            "j" | "br.az" | "br.an" | "br.ap" | "br.am" | "br.sz" | "br.sn" | "br.sp" | "br.sm" => {
                 want(1)?;
                 let l = label_for(&mut asm, &mut labels, ops[0]);
                 match mnemonic {
@@ -343,10 +341,7 @@ pub fn parse(source: &str) -> Result<Program, ParseError> {
 #[must_use]
 pub fn emit(program: &Program) -> String {
     use std::fmt::Write as _;
-    let mut targets: Vec<u32> = program
-        .iter()
-        .filter_map(|i| i.target)
-        .collect();
+    let mut targets: Vec<u32> = program.iter().filter_map(|i| i.target).collect();
     targets.sort_unstable();
     targets.dedup();
     let label = |pc: u32| format!("L{pc}");
@@ -367,12 +362,9 @@ fn inst_text(inst: &Inst, label: &dyn Fn(u32) -> String) -> String {
     let m = inst.opcode.mnemonic();
     let d = |r: Option<Reg>| r.expect("operand present").to_string();
     match inst.opcode {
-        AAdd | ASub | AMul | SAdd | SSub | SAnd | SOr | SXor | FAdd | FSub | FMul => format!(
-            "{m} {}, {}, {}",
-            d(inst.dst),
-            d(inst.src1),
-            d(inst.src2)
-        ),
+        AAdd | ASub | AMul | SAdd | SSub | SAnd | SOr | SXor | FAdd | FSub | FMul => {
+            format!("{m} {}, {}, {}", d(inst.dst), d(inst.src1), d(inst.src2))
+        }
         AAddImm | ASubImm | SShl | SShr => {
             format!("{m} {}, {}, {}", d(inst.dst), d(inst.src1), inst.imm)
         }
@@ -380,18 +372,8 @@ fn inst_text(inst: &Inst, label: &dyn Fn(u32) -> String) -> String {
         SPop | SLz | FRecip | AtoB | BtoA | StoT | TtoS | AtoS | StoA => {
             format!("{m} {}, {}", d(inst.dst), d(inst.src1))
         }
-        LoadA | LoadS => format!(
-            "{m} {}, {}, {}",
-            d(inst.dst),
-            d(inst.src1),
-            inst.imm
-        ),
-        StoreA | StoreS => format!(
-            "{m} {}, {}, {}",
-            d(inst.src2),
-            d(inst.src1),
-            inst.imm
-        ),
+        LoadA | LoadS => format!("{m} {}, {}, {}", d(inst.dst), d(inst.src1), inst.imm),
+        StoreA | StoreS => format!("{m} {}, {}, {}", d(inst.src2), d(inst.src1), inst.imm),
         Jump | BrAZ | BrAN | BrAP | BrAM | BrSZ | BrSN | BrSP | BrSM => {
             format!("{m} {}", label(inst.target.expect("branch has a target")))
         }

@@ -85,10 +85,7 @@ impl Broadcasts {
     /// The value broadcast for `tag` this cycle, if any.
     #[must_use]
     pub fn lookup(&self, tag: Tag) -> Option<u64> {
-        self.items
-            .iter()
-            .find(|(t, _)| *t == tag)
-            .map(|(_, v)| *v)
+        self.items.iter().find(|(t, _)| *t == tag).map(|(_, v)| *v)
     }
 }
 

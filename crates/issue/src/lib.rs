@@ -20,6 +20,7 @@ pub mod predict;
 pub mod reorder;
 pub mod ruu;
 pub mod simple;
+pub mod simulator;
 pub mod spec_ruu;
 pub mod tag_unit;
 pub mod tagged;
@@ -28,9 +29,10 @@ pub use common::{Broadcasts, FetchSlot, Frontend, Operand, PendingBranch, Tag};
 pub use mechanism::Mechanism;
 pub use predict::{AlwaysTaken, Btfn, Predictor, TwoBit};
 pub use reorder::{InOrderPrecise, PreciseScheme};
-pub use ruu::{Bypass, CycleRecord, CycleTrace, InterruptFrame, Ruu, RunOutcome};
-pub use spec_ruu::{SpecRunResult, SpecRuu, SpecStats};
+pub use ruu::{Bypass, CycleRecord, CycleTrace, InterruptFrame, RunOutcome, Ruu};
 pub use simple::SimpleIssue;
+pub use simulator::IssueSimulator;
+pub use spec_ruu::{SpecRunResult, SpecRuu, SpecStats};
 pub use tag_unit::{TagRetirement, TagUnitModel, TuEntry};
 pub use tagged::{TaggedSim, WindowKind};
 

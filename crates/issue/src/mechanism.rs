@@ -10,6 +10,7 @@ use ruu_sim_core::{MachineConfig, RunResult};
 use crate::reorder::{InOrderPrecise, PreciseScheme};
 use crate::ruu::{Bypass, Ruu};
 use crate::simple::SimpleIssue;
+use crate::simulator::IssueSimulator;
 use crate::tagged::{TaggedSim, WindowKind};
 use crate::SimError;
 
@@ -80,7 +81,42 @@ pub enum Mechanism {
 }
 
 impl Mechanism {
-    /// Runs `program` under this mechanism.
+    /// Builds a ready-to-run simulator for this mechanism — the factory
+    /// behind every uniform driver (sweep engines, the CLI, tests).
+    ///
+    /// The returned trait object is `Send`, so it can be handed to a
+    /// worker thread; construction is configuration-only and cheap.
+    #[must_use]
+    pub fn build(&self, config: &MachineConfig) -> Box<dyn IssueSimulator> {
+        match *self {
+            Mechanism::Simple => Box::new(SimpleIssue::new(config.clone())),
+            Mechanism::Tomasulo { rs_per_fu } => Box::new(TaggedSim::new(
+                config.clone(),
+                WindowKind::Distributed { rs_per_fu },
+            )),
+            Mechanism::TagUnitDistributed { rs_per_fu, tags } => Box::new(TaggedSim::new(
+                config.clone(),
+                WindowKind::TagUnitDistributed { rs_per_fu, tags },
+            )),
+            Mechanism::RsPool { rs, tags } => Box::new(TaggedSim::new(
+                config.clone(),
+                WindowKind::Pooled { rs, tags },
+            )),
+            Mechanism::Rstu { entries } => Box::new(TaggedSim::new(
+                config.clone(),
+                WindowKind::Merged { entries },
+            )),
+            Mechanism::Ruu { entries, bypass } => {
+                Box::new(Ruu::new(config.clone(), entries, bypass))
+            }
+            Mechanism::InOrderPrecise { scheme, entries } => {
+                Box::new(InOrderPrecise::new(config.clone(), scheme, entries))
+            }
+        }
+    }
+
+    /// Runs `program` under this mechanism — a convenience wrapper over
+    /// [`Mechanism::build`] for one-shot runs.
     ///
     /// # Errors
     /// Propagates the simulator's [`SimError`].
@@ -91,31 +127,22 @@ impl Mechanism {
         mem: Memory,
         limit: u64,
     ) -> Result<RunResult, SimError> {
+        self.build(config).run(program, mem, limit)
+    }
+
+    /// The mechanism's primary window-sizing parameter, when it has one
+    /// (RSTU/RUU/reorder-buffer entries, RS-pool stations). Sweep
+    /// reports key rows by this value.
+    #[must_use]
+    pub fn window_entries(&self) -> Option<usize> {
         match *self {
-            Mechanism::Simple => SimpleIssue::new(config.clone()).run(program, mem, limit),
-            Mechanism::Tomasulo { rs_per_fu } => {
-                TaggedSim::new(config.clone(), WindowKind::Distributed { rs_per_fu })
-                    .run(program, mem, limit)
-            }
-            Mechanism::TagUnitDistributed { rs_per_fu, tags } => TaggedSim::new(
-                config.clone(),
-                WindowKind::TagUnitDistributed { rs_per_fu, tags },
-            )
-            .run(program, mem, limit),
-            Mechanism::RsPool { rs, tags } => {
-                TaggedSim::new(config.clone(), WindowKind::Pooled { rs, tags })
-                    .run(program, mem, limit)
-            }
-            Mechanism::Rstu { entries } => {
-                TaggedSim::new(config.clone(), WindowKind::Merged { entries })
-                    .run(program, mem, limit)
-            }
-            Mechanism::Ruu { entries, bypass } => {
-                Ruu::new(config.clone(), entries, bypass).run(program, mem, limit)
-            }
-            Mechanism::InOrderPrecise { scheme, entries } => {
-                InOrderPrecise::new(config.clone(), scheme, entries).run(program, mem, limit)
-            }
+            Mechanism::Simple
+            | Mechanism::Tomasulo { .. }
+            | Mechanism::TagUnitDistributed { .. } => None,
+            Mechanism::RsPool { rs, .. } => Some(rs),
+            Mechanism::Rstu { entries }
+            | Mechanism::Ruu { entries, .. }
+            | Mechanism::InOrderPrecise { entries, .. } => Some(entries),
         }
     }
 

@@ -106,16 +106,37 @@ impl InOrderPrecise {
         self.scheme
     }
 
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
     /// Runs `program` to completion from zeroed registers.
     ///
     /// # Errors
     /// Returns [`SimError::InstLimit`] if more than `limit` dynamic
     /// instructions issue.
     pub fn run(&self, program: &Program, mem: Memory, limit: u64) -> Result<RunResult, SimError> {
+        self.run_from(ArchState::new(), mem, program, limit)
+    }
+
+    /// Runs `program` from an explicit architectural state (fetch starts
+    /// at `state.pc`).
+    ///
+    /// # Errors
+    /// As for [`InOrderPrecise::run`].
+    pub fn run_from(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+    ) -> Result<RunResult, SimError> {
         let cfg = &self.config;
-        let mut state = ArchState::new();
+        let mut state = state;
         let mut mem = mem;
-        let mut frontend = Frontend::new(0);
+        let mut frontend = Frontend::new(state.pc);
         // Cycle at which each register's value becomes *readable* under
         // the scheme (commit for the plain reorder buffer, completion for
         // the others).

@@ -78,8 +78,7 @@ impl SimpleIssue {
                         // Re-check the parked branch's condition register.
                         let pb = *frontend.pending_branch().expect("branch is parked");
                         let cond_reg = pb.inst.src1;
-                        let ready =
-                            cond_reg.is_none_or(|r| reg_ready[r.index()] <= cycle);
+                        let ready = cond_reg.is_none_or(|r| reg_ready[r.index()] <= cycle);
                         if ready {
                             let v = cond_reg.map_or(0, |r| state.reg(r));
                             frontend.resolve_branch(cycle, &pb.inst, v, cfg, &mut stats);
@@ -98,8 +97,7 @@ impl SimpleIssue {
                     }
                     if inst.is_branch() {
                         let cond_reg = inst.src1;
-                        let ready =
-                            cond_reg.is_none_or(|r| reg_ready[r.index()] <= cycle);
+                        let ready = cond_reg.is_none_or(|r| reg_ready[r.index()] <= cycle);
                         if ready {
                             let v = cond_reg.map_or(0, |r| state.reg(r));
                             frontend.resolve_branch(cycle, &inst, v, cfg, &mut stats);
@@ -284,7 +282,9 @@ mod tests {
         assert_eq!(r.instructions, 5);
         assert_eq!(r.stats.branches, 2);
         assert_eq!(r.stats.taken_branches, 1);
-        assert!(r.stats.stalls(StallReason::DeadCycle) >= MachineConfig::paper().branch_taken_penalty);
+        assert!(
+            r.stats.stalls(StallReason::DeadCycle) >= MachineConfig::paper().branch_taken_penalty
+        );
     }
 
     #[test]

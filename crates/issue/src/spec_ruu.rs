@@ -25,8 +25,8 @@ use std::collections::{BTreeMap, VecDeque};
 use ruu_exec::{ArchState, Memory};
 use ruu_isa::{semantics, FuClass, Inst, Opcode, Program, Reg, NUM_REGS};
 use ruu_sim_core::{
-    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, RunResult, RunStats,
-    SlotReservation, StallReason,
+    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, RunResult, RunStats, SlotReservation,
+    StallReason,
 };
 
 use crate::common::{Broadcasts, Operand, Tag};
@@ -355,7 +355,9 @@ impl<'a> SCore<'a> {
         let base = self.window[i].ops[0].value();
         // Canonicalize so the load registers compare the word actually
         // touched; raw effective addresses may alias one memory word.
-        let ea = self.mem.canonicalize(semantics::effective_address(base, imm));
+        let ea = self
+            .mem
+            .canonicalize(semantics::effective_address(base, imm));
         let Some(outcome) = self.lr.process(seq, kind, ea) else {
             return;
         };
@@ -401,17 +403,16 @@ impl<'a> SCore<'a> {
             }
             match e.mem_phase {
                 MemPhase::ToMemory => candidates.push((true, e.seq)),
-                MemPhase::StorePending
-                    if e.ops[0].is_ready() && e.ops[1].is_ready() => {
-                        candidates.push((true, e.seq));
-                    }
+                MemPhase::StorePending if e.ops[0].is_ready() && e.ops[1].is_ready() => {
+                    candidates.push((true, e.seq));
+                }
                 MemPhase::NotMem
                     if e.inst.fu_class().is_some()
                         && e.ops[0].is_ready()
-                        && e.ops[1].is_ready()
-                    => {
-                        candidates.push((false, e.seq));
-                    }
+                        && e.ops[1].is_ready() =>
+                {
+                    candidates.push((false, e.seq));
+                }
                 _ => {}
             }
         }
@@ -439,21 +440,19 @@ impl<'a> SCore<'a> {
                         paths -= 1;
                     }
                 }
-                MemPhase::StorePending
-                    if self.fus.can_accept(FuClass::Memory, self.cycle) => {
-                        self.fus.accept(FuClass::Memory, self.cycle);
-                        self.window[i].dispatched = true;
-                        self.schedule(
-                            self.cycle + self.cfg.store_exec_latency,
-                            Event::StoreExec(seq),
-                        );
-                        paths -= 1;
-                    }
+                MemPhase::StorePending if self.fus.can_accept(FuClass::Memory, self.cycle) => {
+                    self.fus.accept(FuClass::Memory, self.cycle);
+                    self.window[i].dispatched = true;
+                    self.schedule(
+                        self.cycle + self.cfg.store_exec_latency,
+                        Event::StoreExec(seq),
+                    );
+                    paths -= 1;
+                }
                 MemPhase::NotMem => {
                     let fu = e.inst.fu_class().expect("ALU entry has a unit");
                     let lat = self.cfg.fu_latency(fu);
-                    if self.fus.can_accept(fu, self.cycle) && self.bus.available(self.cycle + lat)
-                    {
+                    if self.fus.can_accept(fu, self.cycle) && self.bus.available(self.cycle + lat) {
                         self.fus.accept(fu, self.cycle);
                         self.bus.try_reserve(self.cycle + lat);
                         let e = &mut self.window[i];

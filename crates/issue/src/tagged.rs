@@ -31,8 +31,8 @@ use std::collections::{BTreeMap, VecDeque};
 use ruu_exec::{ArchState, Memory};
 use ruu_isa::{semantics, FuClass, Inst, Program, Reg, NUM_REGS};
 use ruu_sim_core::{
-    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, RunResult, RunStats,
-    SlotReservation, StallReason,
+    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, RunResult, RunStats, SlotReservation,
+    StallReason,
 };
 
 use crate::common::{Broadcasts, FetchSlot, Frontend, Operand, Tag};
@@ -81,7 +81,6 @@ impl WindowKind {
             WindowKind::Merged { entries } => Some(entries),
         }
     }
-
 }
 
 /// Cycle-level simulator for the tagged (imprecise) mechanisms.
@@ -116,7 +115,22 @@ impl TaggedSim {
     /// # Errors
     /// [`SimError::InstLimit`] if more than `limit` instructions issue.
     pub fn run(&self, program: &Program, mem: Memory, limit: u64) -> Result<RunResult, SimError> {
-        let mut core = TCore::new(self, ArchState::new(), mem, program, limit);
+        self.run_from(ArchState::new(), mem, program, limit)
+    }
+
+    /// Runs `program` from an explicit architectural state (fetch starts
+    /// at `state.pc`).
+    ///
+    /// # Errors
+    /// As for [`TaggedSim::run`].
+    pub fn run_from(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+    ) -> Result<RunResult, SimError> {
+        let mut core = TCore::new(self, state, mem, program, limit);
         core.run(None).map(|o| o.expect("no probe: run completes"))
     }
 
@@ -465,17 +479,17 @@ impl<'a> TCore<'a> {
             match e.mem_phase {
                 MemPhase::ToMemory => candidates.push((true, e.seq)),
                 MemPhase::StorePending
-                    if e.ops[0].is_ready() && e.ops[1].is_ready() && self.store_may_exec(e.seq)
-                    => {
-                        candidates.push((true, e.seq));
-                    }
+                    if e.ops[0].is_ready() && e.ops[1].is_ready() && self.store_may_exec(e.seq) =>
+                {
+                    candidates.push((true, e.seq));
+                }
                 MemPhase::NotMem
                     if e.inst.fu_class().is_some()
                         && e.ops[0].is_ready()
-                        && e.ops[1].is_ready()
-                    => {
-                        candidates.push((false, e.seq));
-                    }
+                        && e.ops[1].is_ready() =>
+                {
+                    candidates.push((false, e.seq));
+                }
                 _ => {}
             }
         }
@@ -507,25 +521,23 @@ impl<'a> TCore<'a> {
                         paths -= 1;
                     }
                 }
-                MemPhase::StorePending
-                    if self.fus.can_accept(FuClass::Memory, self.cycle) => {
-                        self.fus.accept(FuClass::Memory, self.cycle);
-                        self.window
-                            .get_mut(&seq)
-                            .expect("candidate is live")
-                            .dispatched = true;
-                        self.events_scheduled += 1;
-                        self.events
-                            .entry(self.cycle + self.cfg.store_exec_latency)
-                            .or_default()
-                            .push(Event::StoreExec(seq));
-                        paths -= 1;
-                    }
+                MemPhase::StorePending if self.fus.can_accept(FuClass::Memory, self.cycle) => {
+                    self.fus.accept(FuClass::Memory, self.cycle);
+                    self.window
+                        .get_mut(&seq)
+                        .expect("candidate is live")
+                        .dispatched = true;
+                    self.events_scheduled += 1;
+                    self.events
+                        .entry(self.cycle + self.cfg.store_exec_latency)
+                        .or_default()
+                        .push(Event::StoreExec(seq));
+                    paths -= 1;
+                }
                 MemPhase::NotMem => {
                     let fu = e.inst.fu_class().expect("ALU entry has a unit");
                     let lat = self.cfg.fu_latency(fu);
-                    if self.fus.can_accept(fu, self.cycle) && self.bus.available(self.cycle + lat)
-                    {
+                    if self.fus.can_accept(fu, self.cycle) && self.bus.available(self.cycle + lat) {
                         self.fus.accept(fu, self.cycle);
                         self.bus.try_reserve(self.cycle + lat);
                         let e = self.window.get_mut(&seq).expect("candidate is live");

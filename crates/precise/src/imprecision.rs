@@ -69,8 +69,7 @@ pub fn demonstrate(
     let n = program.len() as u64 - 1; // exclude Halt
     let mut boundary_matches = Vec::new();
     for k in 0..=n {
-        let (gs, gm) =
-            golden_state_at(&program, mem.clone(), k).expect("witness runs on golden");
+        let (gs, gm) = golden_state_at(&program, mem.clone(), k).expect("witness runs on golden");
         boundary_matches.push(states_equal(&state, &memory, &gs, &gm));
     }
     Ok(ImprecisionEvidence {
@@ -105,8 +104,11 @@ mod tests {
 
     #[test]
     fn rs_pool_is_imprecise() {
-        let e = demonstrate(&MachineConfig::paper(), WindowKind::Pooled { rs: 6, tags: 8 })
-            .unwrap();
+        let e = demonstrate(
+            &MachineConfig::paper(),
+            WindowKind::Pooled { rs: 6, tags: 8 },
+        )
+        .unwrap();
         assert!(e.is_imprecise());
     }
 }

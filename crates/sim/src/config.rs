@@ -11,7 +11,14 @@ use ruu_isa::FuClass;
 ///
 /// `MachineConfig` is a plain, public-field record: it is the experiment
 /// knob surface, and the sweep harnesses construct many variants of it.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Every field also has a chainable `with_*` builder, which is the
+/// preferred way to derive variants
+/// (`MachineConfig::paper().with_result_buses(2).with_load_registers(4)`);
+/// the builders validate their arguments where direct mutation cannot.
+///
+/// `Hash`/`Eq` let sweep engines key memoization caches (e.g. the
+/// per-config baseline-cycles cache in `ruu-engine`) by configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Latency (clock periods from dispatch to result-bus appearance) per
     /// functional-unit class, indexed by [`FuClass::index`].
@@ -125,6 +132,49 @@ impl MachineConfig {
     pub fn with_result_buses(mut self, n: u32) -> Self {
         assert!(n >= 1, "at least one result bus is required");
         self.result_buses = n;
+        self
+    }
+
+    /// Returns a copy with a different commit width (RUU→register-file
+    /// bus capacity).
+    #[must_use]
+    pub fn with_commit_width(mut self, n: u32) -> Self {
+        assert!(n >= 1, "at least one commit slot is required");
+        self.commit_width = n;
+        self
+    }
+
+    /// Returns a copy with different taken/not-taken branch penalties.
+    #[must_use]
+    pub fn with_branch_penalties(mut self, taken: u64, untaken: u64) -> Self {
+        self.branch_taken_penalty = taken;
+        self.branch_untaken_penalty = untaken;
+        self
+    }
+
+    /// Returns a copy with one functional-unit class's latency replaced.
+    #[must_use]
+    pub fn with_fu_latency(mut self, fu: FuClass, cycles: u64) -> Self {
+        assert!(cycles >= 1, "a functional unit needs at least one cycle");
+        self.latency[fu.index()] = cycles;
+        self
+    }
+
+    /// Returns a copy with a different load-register forward latency.
+    #[must_use]
+    pub fn with_forward_latency(mut self, cycles: u64) -> Self {
+        self.forward_latency = cycles;
+        self
+    }
+
+    /// Returns a copy with a different data-memory size in words.
+    #[must_use]
+    pub fn with_memory_words(mut self, words: usize) -> Self {
+        assert!(
+            words.is_power_of_two(),
+            "memory size must be a power of two words, got {words}"
+        );
+        self.memory_words = words;
         self
     }
 }

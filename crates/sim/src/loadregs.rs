@@ -157,10 +157,7 @@ impl LoadRegUnit {
                     Some(LrOutcome::ToMemory)
                 }
                 Some(p) => {
-                    let ps = self
-                        .providers
-                        .get_mut(&p)
-                        .expect("live provider has state");
+                    let ps = self.providers.get_mut(&p).expect("live provider has state");
                     match ps.value {
                         Some(v) => Some(LrOutcome::Forwarded { value: v }),
                         None => {
@@ -260,7 +257,10 @@ mod tests {
     #[test]
     fn load_with_no_match_goes_to_memory() {
         let mut lr = LoadRegUnit::new(2);
-        assert_eq!(lr.process(1, MemOpKind::Load, 100), Some(LrOutcome::ToMemory));
+        assert_eq!(
+            lr.process(1, MemOpKind::Load, 100),
+            Some(LrOutcome::ToMemory)
+        );
         assert_eq!(lr.free_count(), 1);
         lr.provider_ready(1, 42);
         lr.retire(1);
@@ -313,7 +313,7 @@ mod tests {
             Some(LrOutcome::WaitOn { provider: 1 })
         );
         lr.process(3, MemOpKind::Store, 9); // S2 becomes provider
-        // L4 must get S2's data, not S1's
+                                            // L4 must get S2's data, not S1's
         assert_eq!(
             lr.process(4, MemOpKind::Load, 9),
             Some(LrOutcome::WaitOn { provider: 3 })
@@ -348,7 +348,7 @@ mod tests {
         lr.process(2, MemOpKind::Load, 4); // waits on store
         lr.provider_ready(1, 5);
         lr.retire(1); // store committed; memory now current
-        // entry still busy (load 2 pending) but provider cleared:
+                      // entry still busy (load 2 pending) but provider cleared:
         assert_eq!(lr.process(3, MemOpKind::Load, 4), Some(LrOutcome::ToMemory));
         lr.provider_ready(3, 5);
         lr.retire(2);
@@ -363,7 +363,7 @@ mod tests {
         lr.process(2, MemOpKind::Load, 7); // waits on 1
         lr.process(3, MemOpKind::Store, 7); // speculative, squashed
         lr.process(4, MemOpKind::Load, 7); // waits on 3, squashed
-        // Squash youngest-first.
+                                           // Squash youngest-first.
         lr.squash(4);
         lr.squash(3);
         // The older store's waiter is intact and provider-ship reverts.

@@ -23,7 +23,9 @@ impl Lcg {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Lcg {
-            state: seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493),
+            state: seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493),
         }
     }
 

@@ -43,8 +43,8 @@ pub fn build(n: u32) -> Workload {
     a.ld_s(Reg::s(5), Reg::a(6), 0); // q
     a.ld_s(Reg::s(6), Reg::a(6), 1); // r
     a.ld_s(Reg::s(7), Reg::a(6), 2); // t
-    // CFT-style loop control: one pointer per array, trip count kept in
-    // A7, with the branch test value computed into A0 each iteration.
+                                     // CFT-style loop control: one pointer per array, trip count kept in
+                                     // A7, with the branch test value computed into A0 each iteration.
     a.a_imm(Reg::a(1), 0); // &x[k]
     a.a_imm(Reg::a(2), 0); // &y[k]
     a.a_imm(Reg::a(3), 0); // &z[k]

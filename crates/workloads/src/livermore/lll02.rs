@@ -72,7 +72,7 @@ pub fn build(n: u32) -> Workload {
     a.s_to_a(Reg::a(3), Reg::s(1)); // ii /= 2
     a.a_add_imm(Reg::a(2), Reg::a(4), 0); // i = ipntp
     a.a_add_imm(Reg::a(1), Reg::a(5), 1); // k = ipnt + 1
-    // trip = ii (the halved value equals floor(old_ii/2) = iteration count)
+                                          // trip = ii (the halved value equals floor(old_ii/2) = iteration count)
     a.a_add_imm(Reg::a(0), Reg::a(3), 0);
     a.br_az(skip); // empty pass guard
     a.bind(inner);

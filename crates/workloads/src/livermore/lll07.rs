@@ -61,7 +61,7 @@ pub fn build(n: u32) -> Workload {
     a.f_add(Reg::s(1), Reg::s(2), Reg::s(1));
     a.f_mul(Reg::s(1), Reg::s(5), Reg::s(1));
     a.f_add(Reg::s(2), Reg::s(3), Reg::s(1)); // inner2
-    // inner1 = u[k+3] + r*(u[k+2] + r*u[k+1]) + t*inner2
+                                              // inner1 = u[k+3] + r*(u[k+2] + r*u[k+1]) + t*inner2
     a.ld_s(Reg::s(1), Reg::a(1), U + 1);
     a.ld_s(Reg::s(3), Reg::a(1), U + 2);
     a.ld_s(Reg::s(4), Reg::a(1), U + 3);
@@ -71,7 +71,7 @@ pub fn build(n: u32) -> Workload {
     a.f_add(Reg::s(3), Reg::s(4), Reg::s(1)); // u[k+3] + ...
     a.f_mul(Reg::s(2), Reg::s(6), Reg::s(2)); // t*inner2
     a.f_add(Reg::s(3), Reg::s(3), Reg::s(2)); // inner1
-    // x[k] = u[k] + r*(z[k] + r*y[k]) + t*inner1
+                                              // x[k] = u[k] + r*(z[k] + r*y[k]) + t*inner1
     a.ld_s(Reg::s(1), Reg::a(1), Y);
     a.ld_s(Reg::s(2), Reg::a(1), Z);
     a.ld_s(Reg::s(4), Reg::a(1), U);

@@ -136,9 +136,18 @@ pub fn build(n: u32) -> Workload {
     let mut checks = Vec::new();
     for kx in 2..=3i64 {
         for ky in 2..=n_us {
-            checks.push((U1 as u64 + idx(1, kx, ky) as u64, u1[idx(1, kx, ky)].to_bits()));
-            checks.push((U2 as u64 + idx(1, kx, ky) as u64, u2[idx(1, kx, ky)].to_bits()));
-            checks.push((U3 as u64 + idx(1, kx, ky) as u64, u3[idx(1, kx, ky)].to_bits()));
+            checks.push((
+                U1 as u64 + idx(1, kx, ky) as u64,
+                u1[idx(1, kx, ky)].to_bits(),
+            ));
+            checks.push((
+                U2 as u64 + idx(1, kx, ky) as u64,
+                u2[idx(1, kx, ky)].to_bits(),
+            ));
+            checks.push((
+                U3 as u64 + idx(1, kx, ky) as u64,
+                u3[idx(1, kx, ky)].to_bits(),
+            ));
         }
     }
 

@@ -145,7 +145,9 @@ pub fn all() -> Vec<Workload> {
 #[must_use]
 pub fn by_name(name: &str) -> Option<Workload> {
     let lower = name.to_ascii_lowercase();
-    all().into_iter().find(|w| w.name.to_ascii_lowercase() == lower)
+    all()
+        .into_iter()
+        .find(|w| w.name.to_ascii_lowercase() == lower)
 }
 
 #[cfg(test)]

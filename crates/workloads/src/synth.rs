@@ -241,8 +241,8 @@ mod tests {
     fn random_programs_terminate_on_golden() {
         for seed in 0..20 {
             let (p, mem) = random_program(seed, &SynthConfig::default());
-            let t = Trace::capture(&p, mem, 1_000_000)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let t =
+                Trace::capture(&p, mem, 1_000_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(!t.is_empty());
         }
     }

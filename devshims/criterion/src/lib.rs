@@ -1,0 +1,141 @@
+//! Offline, dependency-free stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API used by this workspace's
+//! bench targets: [`Criterion`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock loop (a few warm-up iterations,
+//! then up to [`MAX_ITERS`] timed iterations or [`TARGET_NANOS`] of
+//! runtime, whichever comes first), reporting the mean time per
+//! iteration. No statistics, plots, or baselines — just enough to see
+//! relative throughput when the real criterion cannot be downloaded.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timed iterations stop once this much time has been spent.
+pub const TARGET_NANOS: u64 = 1_000_000_000;
+
+/// Hard cap on timed iterations per benchmark.
+pub const MAX_ITERS: u32 = 200;
+
+/// Drives one benchmark's measurement loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u32,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly, recording the mean wall-clock cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        while self.iters < MAX_ITERS && start.elapsed().as_nanos() < u128::from(TARGET_NANOS) {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no iterations)");
+        } else {
+            let mean = self.total / self.iters;
+            println!("{name:<40} time: {mean:>12.3?}  ({} iters)", self.iters);
+        }
+    }
+}
+
+/// Shim benchmark driver: runs each registered function immediately and
+/// prints its mean time.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Starts a named group; the shim just prefixes member names.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 3, "warm-up plus at least one timed iteration");
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("member", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -19,12 +19,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mechanisms = [
         Mechanism::Simple,
         Mechanism::Tomasulo { rs_per_fu: 2 },
-        Mechanism::TagUnitDistributed { rs_per_fu: 2, tags: 15 },
+        Mechanism::TagUnitDistributed {
+            rs_per_fu: 2,
+            tags: 15,
+        },
         Mechanism::RsPool { rs: 10, tags: 15 },
         Mechanism::Rstu { entries: 15 },
-        Mechanism::Ruu { entries: 15, bypass: Bypass::Full },
-        Mechanism::Ruu { entries: 15, bypass: Bypass::LimitedA },
-        Mechanism::Ruu { entries: 15, bypass: Bypass::None },
+        Mechanism::Ruu {
+            entries: 15,
+            bypass: Bypass::Full,
+        },
+        Mechanism::Ruu {
+            entries: 15,
+            bypass: Bypass::LimitedA,
+        },
+        Mechanism::Ruu {
+            entries: 15,
+            bypass: Bypass::None,
+        },
     ];
 
     let baseline = Mechanism::Simple

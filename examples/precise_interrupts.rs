@@ -28,10 +28,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let check = PrecisionCheck::new(15, Bypass::Full);
     let report = check.run(&w.program, &w.memory, fault_seq)?;
     println!("interrupt taken at cycle {}", report.interrupt_cycle);
-    println!("  recovered registers match golden boundary: {}", report.state_precise);
-    println!("  recovered memory   match golden boundary: {}", report.memory_precise);
-    println!("  recovered pc points at faulting instruction: {}", report.pc_precise);
-    println!("  resumed run reaches the golden final state: {}", report.resume_exact);
+    println!(
+        "  recovered registers match golden boundary: {}",
+        report.state_precise
+    );
+    println!(
+        "  recovered memory   match golden boundary: {}",
+        report.memory_precise
+    );
+    println!(
+        "  recovered pc points at faulting instruction: {}",
+        report.pc_precise
+    );
+    println!(
+        "  resumed run reaches the golden final state: {}",
+        report.resume_exact
+    );
     assert!(report.all_precise());
 
     println!();

@@ -2,17 +2,26 @@
 //!
 //! ```text
 //! ruu-sim <mechanism> [workload] [--entries N] [--paths N] [--loadregs N]
+//! ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...
+//!               [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]
 //!
 //! mechanisms: simple | tomasulo | tagunit | rspool | rstu |
-//!             ruu | ruu-nobypass | ruu-limited | spec
-//! workload:   LLL1..LLL14 | all          (default: all)
+//!             ruu | ruu-bypass | ruu-nobypass | ruu-limited |
+//!             reorder | reorder-bypass | history | future | spec
+//! workload:   LLL1..LLL14 | all | file.s   (default: all)
 //! ```
+//!
+//! The `sweep` subcommand runs a window-size grid over the full Livermore
+//! suite on the parallel `ruu-engine` (`--jobs 0` = one worker per
+//! hardware thread), printing paper-style speedup/issue-rate rows or,
+//! with `--json`, the engine's full [`ruu::engine::SweepReport`].
 
 use std::process::ExitCode;
 
+use ruu::engine::{Job, SweepEngine};
 use ruu::exec::Memory;
 use ruu::isa::text;
-use ruu::issue::{Bypass, Mechanism, Predictor, SpecRuu, TwoBit};
+use ruu::issue::{Bypass, Mechanism, PreciseScheme, Predictor, SpecRuu, TwoBit};
 use ruu::sim::MachineConfig;
 use ruu::workloads::{livermore, Workload};
 
@@ -22,6 +31,55 @@ struct Options {
     entries: usize,
     paths: u32,
     loadregs: usize,
+}
+
+/// Maps a CLI mechanism name (sized by `entries`) to a [`Mechanism`].
+/// `None` for the speculative machine, which is not a `Mechanism` variant.
+fn mechanism_by_name(name: &str, entries: usize) -> Result<Option<Mechanism>, String> {
+    let e = entries;
+    let m = match name {
+        "simple" => Some(Mechanism::Simple),
+        "tomasulo" => Some(Mechanism::Tomasulo {
+            rs_per_fu: e.max(1) / 4 + 1,
+        }),
+        "tagunit" => Some(Mechanism::TagUnitDistributed {
+            rs_per_fu: e.max(1) / 4 + 1,
+            tags: e,
+        }),
+        "rspool" => Some(Mechanism::RsPool { rs: e, tags: e }),
+        "rstu" => Some(Mechanism::Rstu { entries: e }),
+        "ruu" | "ruu-bypass" => Some(Mechanism::Ruu {
+            entries: e,
+            bypass: Bypass::Full,
+        }),
+        "ruu-nobypass" => Some(Mechanism::Ruu {
+            entries: e,
+            bypass: Bypass::None,
+        }),
+        "ruu-limited" => Some(Mechanism::Ruu {
+            entries: e,
+            bypass: Bypass::LimitedA,
+        }),
+        "reorder" => Some(Mechanism::InOrderPrecise {
+            scheme: PreciseScheme::ReorderBuffer,
+            entries: e,
+        }),
+        "reorder-bypass" => Some(Mechanism::InOrderPrecise {
+            scheme: PreciseScheme::ReorderBufferBypass,
+            entries: e,
+        }),
+        "history" => Some(Mechanism::InOrderPrecise {
+            scheme: PreciseScheme::HistoryBuffer,
+            entries: e,
+        }),
+        "future" => Some(Mechanism::InOrderPrecise {
+            scheme: PreciseScheme::FutureFile,
+            entries: e,
+        }),
+        "spec" => None,
+        other => return Err(format!("unknown mechanism {other}\n{}", usage())),
+    };
+    Ok(m)
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -62,7 +120,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: ruu-sim <simple|tomasulo|tagunit|rspool|rstu|ruu|ruu-nobypass|ruu-limited|\n     reorder|reorder-bypass|history|future|spec> [LLL1..LLL14|all|file.s]\n     [--entries N] [--paths N] [--loadregs N]"
+    "usage: ruu-sim <simple|tomasulo|tagunit|rspool|rstu|ruu|ruu-bypass|ruu-nobypass|\n     ruu-limited|reorder|reorder-bypass|history|future|spec> [LLL1..LLL14|all|file.s]\n     [--entries N] [--paths N] [--loadregs N]\n   or: ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...\n     [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]"
         .to_string()
 }
 
@@ -92,7 +150,129 @@ fn workloads(sel: &str) -> Result<Vec<Workload>, String> {
     }
 }
 
+/// Parses a window-size grid: `A:B` (inclusive range), `A:B:STEP`, or a
+/// comma-separated list `N,N,...`.
+fn parse_entries_spec(spec: &str) -> Result<Vec<usize>, String> {
+    let bad = |s: &str| format!("bad --entries spec {s:?} (want A:B, A:B:STEP, or N,N,...)");
+    if spec.contains(':') {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let (lo, hi, step) = match parts.as_slice() {
+            [a, b] => (a, b, "1"),
+            [a, b, s] => (a, b, *s),
+            _ => return Err(bad(spec)),
+        };
+        let lo: usize = lo.parse().map_err(|_| bad(spec))?;
+        let hi: usize = hi.parse().map_err(|_| bad(spec))?;
+        let step: usize = step.parse().map_err(|_| bad(spec))?;
+        if lo == 0 || hi < lo || step == 0 {
+            return Err(bad(spec));
+        }
+        Ok((lo..=hi).step_by(step).collect())
+    } else {
+        let list: Vec<usize> = spec
+            .split(',')
+            .map(|p| p.trim().parse().map_err(|_| bad(spec)))
+            .collect::<Result<_, _>>()?;
+        if list.is_empty() || list.contains(&0) {
+            return Err(bad(spec));
+        }
+        Ok(list)
+    }
+}
+
+fn run_sweep(mut args: std::env::Args) -> Result<(), String> {
+    let mut mechanism: Option<String> = None;
+    let mut entries_spec: Option<String> = None;
+    let mut jobs: usize = 0;
+    let mut json = false;
+    let mut paths: u32 = 1;
+    let mut loadregs: usize = 6;
+    let mut buses: u32 = 1;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mechanism" => mechanism = Some(args.next().ok_or("--mechanism needs a name")?),
+            "--entries" => entries_spec = Some(args.next().ok_or("--entries needs a spec")?),
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--jobs needs a number")?;
+            }
+            "--json" => json = true,
+            "--paths" => {
+                paths = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--paths needs a number")?;
+            }
+            "--loadregs" => {
+                loadregs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--loadregs needs a number")?;
+            }
+            "--buses" => {
+                buses = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--buses needs a number")?;
+            }
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    let name = mechanism.ok_or_else(|| format!("sweep needs --mechanism\n{}", usage()))?;
+    let spec = entries_spec.ok_or_else(|| format!("sweep needs --entries\n{}", usage()))?;
+    let entries = parse_entries_spec(&spec)?;
+    let cfg = MachineConfig::paper()
+        .with_dispatch_paths(paths)
+        .with_load_registers(loadregs)
+        .with_result_buses(buses);
+
+    let grid: Vec<Job> = entries
+        .iter()
+        .map(|&e| {
+            mechanism_by_name(&name, e)?
+                .map(|m| Job::new(m, cfg.clone()))
+                .ok_or_else(|| "the speculative machine has no sweep support yet".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+
+    let engine = SweepEngine::livermore().with_workers(jobs);
+    let report = engine.run_grid(&grid).map_err(|e| e.to_string())?;
+
+    if json {
+        println!("{}", report.to_json());
+        return Ok(());
+    }
+    println!(
+        "| {:>7} | {:>10} | {:>12} | {:>7} | {:>6} |",
+        "entries", "cycles", "instructions", "speedup", "IPC"
+    );
+    for j in &report.jobs {
+        println!(
+            "| {:>7} | {:>10} | {:>12} | {:>7.3} | {:>6.3} |",
+            j.entries.map_or_else(|| "-".to_string(), |e| e.to_string()),
+            j.cycles,
+            j.instructions,
+            j.speedup,
+            j.issue_rate,
+        );
+    }
+    let s = &report.stats;
+    println!(
+        "engine: {} jobs ({} units) on {} workers in {:.1?} ({:.1} jobs/s, {:.1} units/s)",
+        s.jobs, s.units, s.workers, s.wall, s.jobs_per_sec, s.units_per_sec
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
+    if std::env::args().nth(1).as_deref() == Some("sweep") {
+        let mut args = std::env::args();
+        args.next(); // program name
+        args.next(); // "sweep"
+        return run_sweep(args);
+    }
     let opts = parse_args()?;
     let cfg = MachineConfig::paper()
         .with_dispatch_paths(opts.paths)
@@ -100,46 +280,7 @@ fn run() -> Result<(), String> {
     let suite = workloads(&opts.workload)?;
 
     let e = opts.entries;
-    let mechanism = match opts.mechanism.as_str() {
-        "simple" => Some(Mechanism::Simple),
-        "tomasulo" => Some(Mechanism::Tomasulo { rs_per_fu: e.max(1) / 4 + 1 }),
-        "tagunit" => Some(Mechanism::TagUnitDistributed {
-            rs_per_fu: e.max(1) / 4 + 1,
-            tags: e,
-        }),
-        "rspool" => Some(Mechanism::RsPool { rs: e, tags: e }),
-        "rstu" => Some(Mechanism::Rstu { entries: e }),
-        "ruu" => Some(Mechanism::Ruu {
-            entries: e,
-            bypass: Bypass::Full,
-        }),
-        "ruu-nobypass" => Some(Mechanism::Ruu {
-            entries: e,
-            bypass: Bypass::None,
-        }),
-        "ruu-limited" => Some(Mechanism::Ruu {
-            entries: e,
-            bypass: Bypass::LimitedA,
-        }),
-        "reorder" => Some(Mechanism::InOrderPrecise {
-            scheme: ruu::issue::PreciseScheme::ReorderBuffer,
-            entries: e,
-        }),
-        "reorder-bypass" => Some(Mechanism::InOrderPrecise {
-            scheme: ruu::issue::PreciseScheme::ReorderBufferBypass,
-            entries: e,
-        }),
-        "history" => Some(Mechanism::InOrderPrecise {
-            scheme: ruu::issue::PreciseScheme::HistoryBuffer,
-            entries: e,
-        }),
-        "future" => Some(Mechanism::InOrderPrecise {
-            scheme: ruu::issue::PreciseScheme::FutureFile,
-            entries: e,
-        }),
-        "spec" => None,
-        other => return Err(format!("unknown mechanism {other}\n{}", usage())),
-    };
+    let mechanism = mechanism_by_name(&opts.mechanism, e)?;
 
     println!(
         "| {:<8} | {:>12} | {:>10} | {:>6} |",
@@ -150,10 +291,12 @@ fn run() -> Result<(), String> {
     for w in &suite {
         let (insts, cycles) = match &mechanism {
             Some(m) => {
-                let r = m
-                    .run(&cfg, &w.program, w.memory.clone(), w.inst_limit)
+                let sim = m.build(&cfg);
+                let r = sim
+                    .run(&w.program, w.memory.clone(), w.inst_limit)
                     .map_err(|e| format!("{}: {e}", w.name))?;
-                w.verify(&r.memory).map_err(|e| format!("{}: {e}", w.name))?;
+                w.verify(&r.memory)
+                    .map_err(|e| format!("{}: {e}", w.name))?;
                 (r.instructions, r.cycles)
             }
             None => {

@@ -8,10 +8,13 @@
 //! * [`workloads`] — Lawrence Livermore loops 1–14 and synthetic programs;
 //! * [`sim`] — the timing-simulation substrate;
 //! * [`issue`] — the issue mechanisms (simple, Tomasulo, tag unit, RS pool,
-//!   RSTU, RUU);
+//!   RSTU, RUU), unified behind the [`issue::IssueSimulator`] trait;
 //! * [`precise`] — precise-interrupt machinery and the speculation
-//!   extension.
+//!   extension;
+//! * [`engine`] — the parallel batch-simulation engine for
+//!   (mechanism, config, workload) job grids.
 
+pub use ruu_engine as engine;
 pub use ruu_exec as exec;
 pub use ruu_isa as isa;
 pub use ruu_issue as issue;

@@ -76,7 +76,8 @@ fn speculative_ruu_matches_golden_on_every_loop() {
         assert_eq!(&r.run.memory, golden.final_memory(), "{}", w.name);
         w.verify(&r.run.memory).unwrap();
         assert_eq!(
-            r.run.stats.branches, golden.mix().branches,
+            r.run.stats.branches,
+            golden.mix().branches,
             "{}: resolved branch count",
             w.name
         );

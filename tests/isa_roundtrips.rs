@@ -29,8 +29,8 @@ fn every_livermore_kernel_survives_binary_roundtrip() {
 fn every_livermore_kernel_survives_text_roundtrip() {
     for w in livermore::all() {
         let src = text::emit(&w.program);
-        let back = text::parse(&src)
-            .unwrap_or_else(|e| panic!("{} failed to re-parse: {e}", w.name));
+        let back =
+            text::parse(&src).unwrap_or_else(|e| panic!("{} failed to re-parse: {e}", w.name));
         assert_eq!(w.program, back, "{}", w.name);
     }
 }

@@ -110,7 +110,11 @@ fn paper_shapes_hold() {
 
     // 5. Everything out-of-order beats the simple baseline at ≥10 entries.
     for pts in [&rstu1, &rstu2, &full, &none, &limited] {
-        assert!(pts[2].speedup > 1.0, "speedup at 10 entries: {}", pts[2].speedup);
+        assert!(
+            pts[2].speedup > 1.0,
+            "speedup at 10 entries: {}",
+            pts[2].speedup
+        );
     }
 }
 
@@ -141,8 +145,7 @@ fn limited_bypass_recovers_part_of_the_gap() {
     let none = ruu(&cfg, Bypass::None);
     let limited = ruu(&cfg, Bypass::LimitedA);
     let i = 2; // 10 entries
-    let recovered =
-        (limited[i].speedup - none[i].speedup) / (full[i].speedup - none[i].speedup);
+    let recovered = (limited[i].speedup - none[i].speedup) / (full[i].speedup - none[i].speedup);
     assert!(
         recovered > 0.3,
         "the future file should recover >30% of the bypass gap, got {:.0}%",
