@@ -3,7 +3,8 @@
 //!
 //! Run with `cargo bench -p ruu-bench --bench table1`.
 
-use ruu_bench::{baseline_rows, report};
+use ruu_bench::{baseline_rows, report, stall_breakdown};
+use ruu_issue::Mechanism;
 use ruu_sim_core::MachineConfig;
 
 fn main() {
@@ -12,6 +13,12 @@ fn main() {
     println!("## Table 1 — statistics for the benchmark programs (simple issue)");
     println!();
     print!("{}", report::format_table1(&rows));
+    println!();
+    let stalls = stall_breakdown(&cfg, Mechanism::Simple);
+    print!(
+        "{}",
+        report::format_stall_table("Where the cycles go (simple issue)", &stalls)
+    );
     println!();
     println!(
         "Note: 'ours' runs hand-compiled kernels (DESIGN.md §1); absolute counts differ \

@@ -18,8 +18,9 @@ use std::fmt;
 use std::sync::OnceLock;
 
 use ruu_engine::{EngineError, EngineStats, Job, SweepEngine};
+use ruu_exec::ArchState;
 use ruu_issue::{Mechanism, SimError};
-use ruu_sim_core::MachineConfig;
+use ruu_sim_core::{MachineConfig, StallHistogram};
 use ruu_workloads::{livermore, VerifyError};
 
 /// A typed failure from a harness run.
@@ -107,10 +108,22 @@ pub struct BaselineRow {
 }
 
 impl BaselineRow {
-    /// Instructions per cycle.
+    /// Instructions per cycle, or `None` for a zero-cycle row.
+    #[must_use]
+    pub fn try_issue_rate(&self) -> Option<f64> {
+        if self.cycles == 0 {
+            None
+        } else {
+            Some(self.instructions as f64 / self.cycles as f64)
+        }
+    }
+
+    /// Instructions per cycle. A zero-cycle row reports `0.0` (never
+    /// NaN); use [`BaselineRow::try_issue_rate`] to distinguish that
+    /// sentinel from a genuine rate.
     #[must_use]
     pub fn issue_rate(&self) -> f64 {
-        self.instructions as f64 / self.cycles as f64
+        self.try_issue_rate().unwrap_or(0.0)
     }
 }
 
@@ -127,6 +140,69 @@ pub struct SweepPoint {
     pub speedup: f64,
     /// Aggregate instructions per cycle.
     pub issue_rate: f64,
+}
+
+/// Per-workload stall breakdown for one mechanism: where the decode/
+/// issue stage spent every non-issuing cycle.
+#[derive(Debug, Clone)]
+pub struct StallBreakdownRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Cycles to execute it.
+    pub cycles: u64,
+    /// The run's stall histogram (issue cycles, per-reason stalls,
+    /// mean occupancy).
+    pub hist: StallHistogram,
+}
+
+/// Runs `mechanism` over the Livermore suite with a [`StallHistogram`]
+/// attached, returning one breakdown row per workload (suite order).
+///
+/// # Errors
+/// Propagates the first failing workload as a [`HarnessError`].
+pub fn try_stall_breakdown(
+    config: &MachineConfig,
+    mechanism: Mechanism,
+) -> Result<Vec<StallBreakdownRow>, HarnessError> {
+    let label = mechanism.to_string();
+    let sim = mechanism.build(config);
+    let mut rows = Vec::new();
+    for w in engine().suite() {
+        let mut hist = StallHistogram::default();
+        let r = sim
+            .run_observed(
+                ArchState::new(),
+                w.memory.clone(),
+                &w.program,
+                w.inst_limit,
+                &mut hist,
+            )
+            .map_err(|err| HarnessError::Sim {
+                mechanism: label.clone(),
+                workload: w.name,
+                err,
+            })?;
+        w.verify(&r.memory).map_err(|err| HarnessError::Verify {
+            mechanism: label.clone(),
+            workload: w.name,
+            err,
+        })?;
+        rows.push(StallBreakdownRow {
+            name: w.name,
+            cycles: r.cycles,
+            hist,
+        });
+    }
+    Ok(rows)
+}
+
+/// Panicking shim over [`try_stall_breakdown`] for bench targets.
+///
+/// # Panics
+/// Panics on any simulator or verification failure.
+#[must_use]
+pub fn stall_breakdown(config: &MachineConfig, mechanism: Mechanism) -> Vec<StallBreakdownRow> {
+    try_stall_breakdown(config, mechanism).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs the baseline (simple issue) over the full Livermore suite,
@@ -326,5 +402,43 @@ mod tests {
         let cfg = MachineConfig::paper();
         let rows = baseline_rows(&cfg);
         assert_eq!(baseline_total_cycles(&cfg), rows[14].cycles);
+    }
+
+    #[test]
+    fn zero_cycle_row_has_no_rate() {
+        let row = BaselineRow {
+            name: "empty",
+            instructions: 0,
+            cycles: 0,
+        };
+        assert_eq!(row.try_issue_rate(), None);
+        assert_eq!(row.issue_rate(), 0.0); // documented sentinel, not NaN
+    }
+
+    #[test]
+    fn stall_breakdown_accounts_for_every_cycle() {
+        let cfg = MachineConfig::paper();
+        let rows = stall_breakdown(
+            &cfg,
+            Mechanism::Ruu {
+                entries: 10,
+                bypass: Bypass::Full,
+            },
+        );
+        assert_eq!(rows.len(), engine().suite().len());
+        for row in &rows {
+            assert_eq!(
+                row.cycles,
+                row.hist.issue_cycles() + row.hist.total_stalls(),
+                "cycle accounting on {}",
+                row.name
+            );
+            assert_eq!(
+                row.hist.cycles(),
+                row.cycles,
+                "cycle_end count {}",
+                row.name
+            );
+        }
     }
 }

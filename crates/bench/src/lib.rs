@@ -28,6 +28,7 @@ pub mod paper;
 pub mod report;
 
 pub use harness::{
-    baseline_rows, baseline_total_cycles, engine, sweep, sweep_serial, try_baseline_rows,
-    try_baseline_total_cycles, try_sweep, try_sweep_report, BaselineRow, HarnessError, SweepPoint,
+    baseline_rows, baseline_total_cycles, engine, stall_breakdown, sweep, sweep_serial,
+    try_baseline_rows, try_baseline_total_cycles, try_stall_breakdown, try_sweep, try_sweep_report,
+    BaselineRow, HarnessError, StallBreakdownRow, SweepPoint,
 };

@@ -1,8 +1,9 @@
 //! Table formatting for the bench targets: measured values printed next
 //! to the paper's published numbers.
 
-use crate::harness::{BaselineRow, SweepPoint};
+use crate::harness::{BaselineRow, StallBreakdownRow, SweepPoint};
 use crate::paper;
+use ruu_sim_core::{StallHistogram, StallReason};
 
 /// Formats a Table-1-style report (per-loop baseline statistics) with the
 /// paper's numbers alongside.
@@ -66,6 +67,70 @@ pub fn format_sweep(
     out
 }
 
+/// Formats a per-workload stall-breakdown table for one mechanism: one
+/// column per stall reason that occurs anywhere in the suite, plus a
+/// `Total` row. Cycle counts, not percentages, so rows can be checked
+/// against `cycles == issue + Σ stalls` by eye.
+#[must_use]
+pub fn format_stall_table(title: &str, rows: &[StallBreakdownRow]) -> String {
+    use std::fmt::Write as _;
+    let reasons: Vec<StallReason> = StallReason::ALL
+        .into_iter()
+        .filter(|&r| rows.iter().any(|row| row.hist.stalls(r) > 0))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}");
+    let _ = write!(out, "| Loop   | cycles | issue |");
+    for r in &reasons {
+        let _ = write!(out, " {r} |");
+    }
+    let _ = writeln!(out, " mean occ |");
+    let _ = write!(out, "|--------|-------:|------:|");
+    for r in &reasons {
+        let _ = write!(out, "{:-<width$}:|", "", width = r.to_string().len());
+    }
+    let _ = writeln!(out, "---------:|");
+    let mut total = StallHistogram::default();
+    let mut total_cycles = 0u64;
+    for row in rows {
+        total.absorb(&row.hist);
+        total_cycles += row.cycles;
+        let _ = write!(
+            out,
+            "| {:<6} | {:>6} | {:>5} |",
+            row.name,
+            row.cycles,
+            row.hist.issue_cycles()
+        );
+        for r in &reasons {
+            let _ = write!(
+                out,
+                " {:>width$} |",
+                row.hist.stalls(*r),
+                width = r.to_string().len()
+            );
+        }
+        let _ = writeln!(out, " {:>8.2} |", row.hist.mean_occupancy().unwrap_or(0.0));
+    }
+    let _ = write!(
+        out,
+        "| {:<6} | {:>6} | {:>5} |",
+        "Total",
+        total_cycles,
+        total.issue_cycles()
+    );
+    for r in &reasons {
+        let _ = write!(
+            out,
+            " {:>width$} |",
+            total.stalls(*r),
+            width = r.to_string().len()
+        );
+    }
+    let _ = writeln!(out, " {:>8.2} |", total.mean_occupancy().unwrap_or(0.0));
+    out
+}
+
 /// Formats the engine's execution statistics for a sweep footer.
 #[must_use]
 pub fn format_engine_stats(stats: &ruu_engine::EngineStats) -> String {
@@ -104,6 +169,19 @@ mod tests {
         assert!(s.contains("LLL1"));
         assert!(s.contains("7217")); // paper column
         assert!(s.contains("0.400")); // our rate
+    }
+
+    #[test]
+    fn stall_table_lists_active_reasons_and_total() {
+        let rows = crate::harness::stall_breakdown(
+            &ruu_sim_core::MachineConfig::paper(),
+            ruu_issue::Mechanism::Simple,
+        );
+        let s = format_stall_table("Where the cycles go", &rows);
+        assert!(s.contains("operands-not-ready"));
+        assert!(s.contains("drained"));
+        assert!(s.contains("| Total"));
+        assert!(s.contains("mean occ"));
     }
 
     #[test]

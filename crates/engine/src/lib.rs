@@ -56,8 +56,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use ruu_exec::ArchState;
 use ruu_issue::{Mechanism, SimError};
-use ruu_sim_core::MachineConfig;
+use ruu_sim_core::{MachineConfig, StallHistogram, StallReason};
 use ruu_workloads::{livermore, VerifyError, Workload};
 
 pub mod json;
@@ -152,6 +153,20 @@ pub struct JobResult {
     pub speedup: f64,
     /// Aggregate instructions per cycle.
     pub issue_rate: f64,
+    /// Decode/issue stall cycles over the suite: the nonzero
+    /// [`StallReason`] counters, in `StallReason::ALL` order. Together
+    /// with the issue cycles these account for every simulated cycle
+    /// (`cycles == instructions + Σ stalls` for the non-speculative
+    /// mechanisms the engine runs).
+    pub stalls: Vec<(StallReason, u64)>,
+}
+
+impl JobResult {
+    /// Total stall cycles across all reasons.
+    #[must_use]
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.iter().map(|&(_, n)| n).sum()
+    }
 }
 
 /// Engine-side execution statistics for one grid run.
@@ -209,6 +224,11 @@ impl SweepReport {
             w.key("baseline_cycles").u64(j.baseline_cycles);
             w.key("speedup").f64(j.speedup);
             w.key("issue_rate").f64(j.issue_rate);
+            w.key("stalls").begin_object();
+            for &(reason, n) in &j.stalls {
+                w.key(&reason.to_string()).u64(n);
+            }
+            w.end_object();
             w.end_object();
         }
         w.end_array();
@@ -315,16 +335,25 @@ impl SweepEngine {
     }
 
     /// Runs one (mechanism, config, workload) triple and verifies the
-    /// result against the workload's mirror computation.
+    /// result against the workload's mirror computation. Returns cycles,
+    /// instructions and the run's per-reason stall histogram (integer
+    /// counters, so aggregation stays worker-count independent).
     fn run_unit(
         label: &str,
         mechanism: Mechanism,
         config: &MachineConfig,
         w: &Workload,
-    ) -> Result<(u64, u64), EngineError> {
+    ) -> Result<(u64, u64, StallHistogram), EngineError> {
         let sim = mechanism.build(config);
+        let mut hist = StallHistogram::default();
         let r = sim
-            .run(&w.program, w.memory.clone(), w.inst_limit)
+            .run_observed(
+                ArchState::new(),
+                w.memory.clone(),
+                &w.program,
+                w.inst_limit,
+                &mut hist,
+            )
             .map_err(|err| EngineError::Sim {
                 job: label.to_string(),
                 workload: w.name,
@@ -335,7 +364,7 @@ impl SweepEngine {
             workload: w.name,
             err,
         })?;
-        Ok((r.cycles, r.instructions))
+        Ok((r.cycles, r.instructions, hist))
     }
 
     /// Fills the baseline cache for every configuration in `configs`
@@ -412,10 +441,12 @@ impl SweepEngine {
         for (ji, job) in jobs.iter().enumerate() {
             let mut cycles = 0u64;
             let mut instructions = 0u64;
+            let mut stalls = StallHistogram::default();
             for out in &outs[ji * per_job..(ji + 1) * per_job] {
-                let &(c, n) = out.as_ref().map_err(Clone::clone)?;
+                let (c, n, h) = out.as_ref().map_err(Clone::clone)?;
                 cycles += c;
                 instructions += n;
+                stalls.absorb(h);
             }
             let baseline_cycles = *cache
                 .get(&job.config)
@@ -429,6 +460,7 @@ impl SweepEngine {
                 baseline_cycles,
                 speedup: baseline_cycles as f64 / cycles as f64,
                 issue_rate: instructions as f64 / cycles as f64,
+                stalls: stalls.rows(),
             });
         }
         drop(cache);
@@ -467,7 +499,7 @@ impl SweepEngine {
         let label = mechanism.to_string();
         let outs = self.run_pool(self.suite.len(), |i| {
             let w = &self.suite[i];
-            Self::run_unit(&label, mechanism, config, w).map(|(c, n)| (w.name, c, n))
+            Self::run_unit(&label, mechanism, config, w).map(|(c, n, _)| (w.name, c, n))
         });
         outs.into_iter()
             .map(|out| {
@@ -605,6 +637,32 @@ mod tests {
             assert_eq!(a.instructions, b.instructions);
             assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
             assert_eq!(a.issue_rate.to_bits(), b.issue_rate.to_bits());
+            assert_eq!(a.stalls, b.stalls);
+        }
+    }
+
+    #[test]
+    fn job_stalls_account_for_every_cycle() {
+        // Each issue cycle issues exactly one instruction, so per job
+        // cycles == instructions + Σ stall_cycles — the same identity the
+        // CycleAccountant enforces per run, here over the aggregate.
+        let engine = SweepEngine::new(mini_suite()).with_workers(4);
+        let jobs = vec![
+            Job::new(Mechanism::Simple, MachineConfig::paper()),
+            ruu_job(4),
+            Job::new(Mechanism::Rstu { entries: 6 }, MachineConfig::paper()),
+        ];
+        let report = engine.run_grid(&jobs).expect("grid runs");
+        for j in &report.jobs {
+            assert_eq!(
+                j.cycles,
+                j.instructions + j.total_stalls(),
+                "cycle accounting for {}",
+                j.label
+            );
+            assert!(!j.stalls.is_empty(), "{} reports no stalls", j.label);
+            assert!(j.stalls.iter().all(|&(_, n)| n > 0));
+            assert!(j.stalls.len() <= StallReason::ALL.len());
         }
     }
 
@@ -623,6 +681,8 @@ mod tests {
             "\"cycles\":",
             "\"speedup\":",
             "\"entries\":4",
+            "\"stalls\":",
+            "\"drained\":",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

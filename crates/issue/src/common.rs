@@ -3,7 +3,7 @@
 //! cycles, and per-cycle broadcast records.
 
 use ruu_isa::{semantics, Inst, Opcode, Program, Reg};
-use ruu_sim_core::{MachineConfig, RunStats, StallReason};
+use ruu_sim_core::{MachineConfig, PipelineObserver, RunStats, StallReason};
 
 /// A register-instance tag: names one in-flight producer of a register.
 ///
@@ -240,15 +240,33 @@ impl Frontend {
     }
 }
 
+/// Observes the end of one simulated cycle and advances the clock: the
+/// occupancy statistics and the observer's `cycle_end` hook fire exactly
+/// once per simulated cycle (the in-order machines report their in-flight
+/// count as occupancy).
+pub(crate) fn end_cycle(
+    obs: &mut dyn PipelineObserver,
+    stats: &mut RunStats,
+    cycle: &mut u64,
+    occ: u32,
+) {
+    stats.observe_occupancy(occ);
+    obs.cycle_end(*cycle, occ);
+    *cycle += 1;
+}
+
 /// Charges a stall to `stats` for the non-issuing cycle described by
-/// `slot` (dead cycle vs parked branch).
-pub fn charge_frontend_stall(slot: &FetchSlot, stats: &mut RunStats) {
-    match slot {
-        FetchSlot::Dead => stats.stall(StallReason::DeadCycle),
-        FetchSlot::BranchParked => stats.stall(StallReason::BranchWait),
-        FetchSlot::Halted => stats.stall(StallReason::Drained),
-        FetchSlot::Inst(..) => {}
-    }
+/// `slot` (dead cycle vs parked branch), returning the reason charged so
+/// callers can mirror it to a pipeline observer.
+pub fn charge_frontend_stall(slot: &FetchSlot, stats: &mut RunStats) -> Option<StallReason> {
+    let reason = match slot {
+        FetchSlot::Dead => StallReason::DeadCycle,
+        FetchSlot::BranchParked => StallReason::BranchWait,
+        FetchSlot::Halted => StallReason::Drained,
+        FetchSlot::Inst(..) => return None,
+    };
+    stats.stall(reason);
+    Some(reason)
 }
 
 #[cfg(test)]

@@ -34,9 +34,12 @@
 
 use ruu_exec::{ArchState, Memory};
 use ruu_isa::{semantics, Program, NUM_REGS};
-use ruu_sim_core::{FuPool, MachineConfig, RunResult, RunStats, SlotReservation, StallReason};
+use ruu_sim_core::{
+    FuPool, MachineConfig, NullObserver, PipelineObserver, RunResult, RunStats, SlotReservation,
+    StallReason,
+};
 
-use crate::common::{charge_frontend_stall, FetchSlot, Frontend, Operand, Tag};
+use crate::common::{charge_frontend_stall, end_cycle, FetchSlot, Frontend, Operand, Tag};
 use crate::SimError;
 
 /// Which Smith & Pleszkun structure guarantees precision.
@@ -133,6 +136,22 @@ impl InOrderPrecise {
         program: &Program,
         limit: u64,
     ) -> Result<RunResult, SimError> {
+        self.run_observed(state, mem, program, limit, &mut NullObserver)
+    }
+
+    /// Runs `program` from an explicit architectural state, reporting
+    /// every pipeline event to `obs`.
+    ///
+    /// # Errors
+    /// As for [`InOrderPrecise::run`].
+    pub fn run_observed(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+        obs: &mut dyn PipelineObserver,
+    ) -> Result<RunResult, SimError> {
         let cfg = &self.config;
         let mut state = state;
         let mut mem = mem;
@@ -155,10 +174,42 @@ impl InOrderPrecise {
         let mut last_commit: u64 = 0;
         let mut commit_ring = vec![0u64; self.buffer_entries];
         let mut ring_pos = 0usize;
+        // (completion cycle, seq) and (commit cycle, seq) of in-flight
+        // instructions, for the observer's complete/commit events; the
+        // pending-commit count is the buffer occupancy.
+        let mut pending_complete: Vec<(u64, u64)> = Vec::new();
+        let mut pending_commit: Vec<(u64, u64)> = Vec::new();
 
         loop {
+            pending_complete.retain(|&(done_at, seq)| {
+                if done_at <= cycle {
+                    obs.complete(cycle, seq);
+                    false
+                } else {
+                    true
+                }
+            });
+            pending_commit.retain(|&(commit_at, seq)| {
+                if commit_at <= cycle {
+                    obs.commit(cycle, seq);
+                    false
+                } else {
+                    true
+                }
+            });
+            // Buffer occupancy: instructions issued but not yet committed.
+            let occ = commit_ring.iter().filter(|&&t| t > cycle).count() as u32;
             match frontend.peek(cycle, program) {
-                FetchSlot::Halted => break,
+                FetchSlot::Halted => {
+                    // Attribute the drain tail (issued instructions still
+                    // completing/committing) rather than dropping it.
+                    if cycle >= last_write {
+                        break;
+                    }
+                    stats.stall(StallReason::Drained);
+                    obs.stall(cycle, StallReason::Drained);
+                    end_cycle(obs, &mut stats, &mut cycle, occ);
+                }
                 slot @ (FetchSlot::Dead | FetchSlot::BranchParked) => {
                     if let FetchSlot::BranchParked = slot {
                         let pb = *frontend.pending_branch().expect("branch is parked");
@@ -167,25 +218,30 @@ impl InOrderPrecise {
                         if ready {
                             let v = cond_reg.map_or(0, |r| state.reg(r));
                             frontend.resolve_branch(cycle, &pb.inst, v, cfg, &mut stats);
+                            obs.issue(cycle, issued);
                             issued += 1;
                             stats.issue_cycles += 1;
-                            cycle += 1;
+                            end_cycle(obs, &mut stats, &mut cycle, occ);
                             continue;
                         }
                     }
-                    charge_frontend_stall(&slot, &mut stats);
-                    cycle += 1;
+                    if let Some(reason) = charge_frontend_stall(&slot, &mut stats) {
+                        obs.stall(cycle, reason);
+                    }
+                    end_cycle(obs, &mut stats, &mut cycle, occ);
                 }
                 FetchSlot::Inst(pc, inst) => {
                     if issued >= limit {
                         return Err(SimError::InstLimit { limit });
                     }
+                    obs.fetch(cycle, pc);
                     if inst.is_branch() {
                         let cond_reg = inst.src1;
                         let ready = cond_reg.is_none_or(|r| reg_ready[r.index()] <= cycle);
                         if ready {
                             let v = cond_reg.map_or(0, |r| state.reg(r));
                             frontend.resolve_branch(cycle, &inst, v, cfg, &mut stats);
+                            obs.issue(cycle, issued);
                             issued += 1;
                             stats.issue_cycles += 1;
                         } else {
@@ -198,22 +254,25 @@ impl InOrderPrecise {
                                 }),
                             );
                             stats.stall(StallReason::BranchWait);
+                            obs.stall(cycle, StallReason::BranchWait);
                         }
-                        cycle += 1;
+                        end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
                     if inst.fu_class().is_none() {
+                        obs.issue(cycle, issued);
                         issued += 1;
                         stats.issue_cycles += 1;
                         frontend.advance();
-                        cycle += 1;
+                        end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
 
                     // (i) sources readable under the scheme
                     if inst.sources().any(|r| reg_ready[r.index()] > cycle) {
                         stats.stall(StallReason::OperandsNotReady);
-                        cycle += 1;
+                        obs.stall(cycle, StallReason::OperandsNotReady);
+                        end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
                     // (ii) destination not busy (single outstanding write
@@ -222,21 +281,24 @@ impl InOrderPrecise {
                     if let Some(d) = inst.dst {
                         if reg_ready[d.index()] > cycle {
                             stats.stall(StallReason::DestinationBusy);
-                            cycle += 1;
+                            obs.stall(cycle, StallReason::DestinationBusy);
+                            end_cycle(obs, &mut stats, &mut cycle, occ);
                             continue;
                         }
                     }
                     let fu = inst.fu_class().expect("non-branch has a unit");
                     if !fus.can_accept(fu, cycle) {
                         stats.stall(StallReason::FuBusy);
-                        cycle += 1;
+                        obs.stall(cycle, StallReason::FuBusy);
+                        end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
                     let lat = cfg.fu_latency(fu);
                     let needs_bus = inst.dst.is_some();
                     if needs_bus && !bus.available(cycle + lat) {
                         stats.stall(StallReason::BusConflict);
-                        cycle += 1;
+                        obs.stall(cycle, StallReason::BusConflict);
+                        end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
                     // (iii) a buffer slot: the slot taken now frees at
@@ -244,7 +306,8 @@ impl InOrderPrecise {
                     // have drained already.
                     if commit_ring[ring_pos] > cycle {
                         stats.stall(StallReason::WindowFull);
-                        cycle += 1;
+                        obs.stall(cycle, StallReason::WindowFull);
+                        end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
 
@@ -266,6 +329,10 @@ impl InOrderPrecise {
                         };
                     }
                     last_write = last_write.max(commit);
+                    obs.issue(cycle, issued);
+                    obs.dispatch(cycle, issued, fu, complete);
+                    pending_complete.push((complete, issued));
+                    pending_commit.push((commit, issued));
 
                     // Function (eager update is safe: in-order issue with
                     // readable operands):
@@ -284,14 +351,15 @@ impl InOrderPrecise {
                     issued += 1;
                     stats.issue_cycles += 1;
                     frontend.advance();
-                    cycle += 1;
+                    end_cycle(obs, &mut stats, &mut cycle, occ);
                 }
             }
         }
 
         state.pc = frontend.pc();
+        debug_assert_eq!(cycle, cycle.max(last_write));
         Ok(RunResult {
-            cycles: cycle.max(last_write),
+            cycles: cycle,
             instructions: issued,
             state,
             memory: mem,

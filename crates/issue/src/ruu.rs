@@ -28,8 +28,8 @@ use std::collections::{BTreeMap, VecDeque};
 use ruu_exec::{ArchState, Memory};
 use ruu_isa::{semantics, FuClass, Inst, Program, Reg, NUM_REGS};
 use ruu_sim_core::{
-    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, RunResult, RunStats, SlotReservation,
-    StallReason,
+    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, NullObserver, PipelineObserver,
+    RunResult, RunStats, SlotReservation, StallReason,
 };
 
 use crate::common::{Broadcasts, FetchSlot, Frontend, Operand, Tag};
@@ -200,6 +200,26 @@ impl Ruu {
         }
     }
 
+    /// Runs `program` from an explicit architectural state, reporting
+    /// every pipeline event to `obs`.
+    ///
+    /// # Errors
+    /// As for [`Ruu::run`].
+    pub fn run_observed(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+        obs: &mut dyn PipelineObserver,
+    ) -> Result<RunResult, SimError> {
+        let mut core = Core::new(self, state, mem, program, limit, None, obs);
+        match core.run()? {
+            RunOutcome::Completed(r) => Ok(r),
+            RunOutcome::Interrupted(_) => unreachable!("no fault was injected"),
+        }
+    }
+
     /// Runs `program`, injecting an exception on the dynamic instruction
     /// with sequence number `fault_seq` (0-based over *all* dynamic
     /// instructions, branches included). The exception is detected when
@@ -229,7 +249,8 @@ impl Ruu {
         limit: u64,
         fault_seq: Option<u64>,
     ) -> Result<RunOutcome, SimError> {
-        let mut core = Core::new(self, state, mem, program, limit, fault_seq);
+        let mut nobs = NullObserver;
+        let mut core = Core::new(self, state, mem, program, limit, fault_seq, &mut nobs);
         core.run()
     }
 
@@ -246,7 +267,8 @@ impl Ruu {
         limit: u64,
         trace_cycles: usize,
     ) -> Result<(RunResult, CycleTrace), SimError> {
-        let mut core = Core::new(self, ArchState::new(), mem, program, limit, None);
+        let mut nobs = NullObserver;
+        let mut core = Core::new(self, ArchState::new(), mem, program, limit, None, &mut nobs);
         core.trace = Some(CycleTrace::new(trace_cycles));
         match core.run()? {
             RunOutcome::Completed(r) => {
@@ -333,6 +355,7 @@ struct Core<'a> {
     issued: u64,
     committed: u64,
     trace: Option<CycleTrace>,
+    obs: &'a mut dyn PipelineObserver,
     events_scheduled: u64,
     last_progress: (u64, u64, u64),
     last_progress_cycle: u64,
@@ -346,6 +369,7 @@ impl<'a> Core<'a> {
         program: &'a Program,
         limit: u64,
         fault_seq: Option<u64>,
+        obs: &'a mut dyn PipelineObserver,
     ) -> Self {
         let cfg = &ruu.config;
         Core {
@@ -374,6 +398,7 @@ impl<'a> Core<'a> {
             issued: 0,
             committed: 0,
             trace: None,
+            obs,
             events_scheduled: 0,
             last_progress: (0, 0, 0),
             last_progress_cycle: 0,
@@ -462,6 +487,7 @@ impl<'a> Core<'a> {
             match ev {
                 Event::Finish(seq) => {
                     self.note(|r| r.finished.push(seq));
+                    self.obs.complete(self.cycle, seq);
                     let i = self.pos(seq);
                     let e = &mut self.window[i];
                     e.executed = true;
@@ -487,6 +513,7 @@ impl<'a> Core<'a> {
                     }
                 }
                 Event::StoreExec(seq) => {
+                    self.obs.complete(self.cycle, seq);
                     let i = self.pos(seq);
                     let e = &mut self.window[i];
                     e.executed = true;
@@ -562,6 +589,8 @@ impl<'a> Core<'a> {
         for seq in queue {
             if self.bus.try_reserve(self.cycle + lat) {
                 self.note(|r| r.dispatched.push(seq));
+                self.obs
+                    .dispatch(self.cycle, seq, FuClass::Memory, self.cycle + lat);
                 self.schedule(self.cycle + lat, Event::Finish(seq));
             } else {
                 remaining.push(seq);
@@ -621,6 +650,8 @@ impl<'a> Core<'a> {
                         e.result = Some(v);
                         e.dispatched = true;
                         self.note(|r| r.dispatched.push(seq));
+                        self.obs
+                            .dispatch(self.cycle, seq, FuClass::Memory, self.cycle + lat);
                         self.schedule(self.cycle + lat, Event::Finish(seq));
                         paths -= 1;
                     }
@@ -629,6 +660,12 @@ impl<'a> Core<'a> {
                     self.fus.accept(FuClass::Memory, self.cycle);
                     self.window[i].dispatched = true;
                     self.note(|r| r.dispatched.push(seq));
+                    self.obs.dispatch(
+                        self.cycle,
+                        seq,
+                        FuClass::Memory,
+                        self.cycle + self.cfg.store_exec_latency,
+                    );
                     self.schedule(
                         self.cycle + self.cfg.store_exec_latency,
                         Event::StoreExec(seq),
@@ -651,6 +688,7 @@ impl<'a> Core<'a> {
                         e.result = Some(v);
                         e.dispatched = true;
                         self.note(|r| r.dispatched.push(seq));
+                        self.obs.dispatch(self.cycle, seq, fu, self.cycle + lat);
                         self.schedule(self.cycle + lat, Event::Finish(seq));
                         paths -= 1;
                     }
@@ -685,6 +723,7 @@ impl<'a> Core<'a> {
             }
             let e = self.window.pop_front().expect("head exists");
             self.note(|r| r.committed.push(e.seq));
+            self.obs.commit(self.cycle, e.seq);
             if e.inst.is_store() {
                 let ea = e.ea.expect("executed store has an address");
                 self.mem.write(ea, e.ops[1].value());
@@ -746,9 +785,11 @@ impl<'a> Core<'a> {
             FetchSlot::Halted => {
                 self.frontend.set_halted();
                 self.stats.stall(StallReason::Drained);
+                self.obs.stall(self.cycle, StallReason::Drained);
             }
             FetchSlot::Dead => {
                 self.stats.stall(StallReason::DeadCycle);
+                self.obs.stall(self.cycle, StallReason::DeadCycle);
             }
             FetchSlot::BranchParked => {
                 let pb = *self.frontend.pending_branch().expect("branch is parked");
@@ -761,16 +802,19 @@ impl<'a> Core<'a> {
                         &mut self.stats,
                     );
                     self.note(|r| r.issued_pc = Some(pb.pc));
+                    self.obs.issue(self.cycle, self.issued);
                     self.issued += 1;
                     self.stats.issue_cycles += 1;
                 } else {
                     self.stats.stall(StallReason::BranchWait);
+                    self.obs.stall(self.cycle, StallReason::BranchWait);
                 }
             }
             FetchSlot::Inst(pc, inst) => {
                 if self.issued >= self.limit {
                     return Err(SimError::InstLimit { limit: self.limit });
                 }
+                self.obs.fetch(self.cycle, pc);
                 if inst.is_branch() {
                     let cond = match inst.src1 {
                         Some(r) => self.read_operand(r),
@@ -785,27 +829,32 @@ impl<'a> Core<'a> {
                             &mut self.stats,
                         );
                         self.note(|r| r.issued_pc = Some(pc));
+                        self.obs.issue(self.cycle, self.issued);
                         self.issued += 1;
                         self.stats.issue_cycles += 1;
                     } else {
                         self.frontend.park_branch(pc, inst, cond);
                         self.stats.stall(StallReason::BranchWait);
+                        self.obs.stall(self.cycle, StallReason::BranchWait);
                     }
                     return Ok(());
                 }
 
                 if self.window.len() >= self.capacity {
                     self.stats.stall(StallReason::WindowFull);
+                    self.obs.stall(self.cycle, StallReason::WindowFull);
                     return Ok(());
                 }
                 if let Some(d) = inst.dst {
                     if self.ni[d.index()] >= self.cfg.max_instances() {
                         self.stats.stall(StallReason::RegInstanceLimit);
+                        self.obs.stall(self.cycle, StallReason::RegInstanceLimit);
                         return Ok(());
                     }
                 }
                 if inst.is_mem() && self.lr.is_full() {
                     self.stats.stall(StallReason::LoadRegFull);
+                    self.obs.stall(self.cycle, StallReason::LoadRegFull);
                     return Ok(());
                 }
 
@@ -854,6 +903,7 @@ impl<'a> Core<'a> {
                     self.mem_queue.push_back(seq);
                 }
                 self.note(|r| r.issued_pc = Some(pc));
+                self.obs.issue(self.cycle, seq);
                 self.issued += 1;
                 self.stats.issue_cycles += 1;
                 self.frontend.advance();
@@ -898,6 +948,7 @@ impl<'a> Core<'a> {
                 return Err(SimError::Deadlock { cycle: self.cycle });
             }
 
+            self.obs.cycle_end(self.cycle, occ);
             if self.drained() {
                 self.cycle += 1;
                 break;

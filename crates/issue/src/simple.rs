@@ -13,9 +13,12 @@
 
 use ruu_exec::{ArchState, Memory};
 use ruu_isa::{semantics, Program, NUM_REGS};
-use ruu_sim_core::{FuPool, MachineConfig, RunResult, RunStats, SlotReservation, StallReason};
+use ruu_sim_core::{
+    FuPool, MachineConfig, NullObserver, PipelineObserver, RunResult, RunStats, SlotReservation,
+    StallReason,
+};
 
-use crate::common::{charge_frontend_stall, FetchSlot, Frontend, Operand, Tag};
+use crate::common::{charge_frontend_stall, end_cycle, FetchSlot, Frontend, Operand, Tag};
 use crate::SimError;
 
 /// The in-order, blocking-issue baseline simulator.
@@ -55,9 +58,26 @@ impl SimpleIssue {
     pub fn run_from(
         &self,
         state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+    ) -> Result<RunResult, SimError> {
+        self.run_observed(state, mem, program, limit, &mut NullObserver)
+    }
+
+    /// Runs `program` from an explicit architectural state, reporting
+    /// every pipeline event to `obs`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InstLimit`] if more than `limit` dynamic
+    /// instructions issue.
+    pub fn run_observed(
+        &self,
+        state: ArchState,
         mut mem: Memory,
         program: &Program,
         limit: u64,
+        obs: &mut dyn PipelineObserver,
     ) -> Result<RunResult, SimError> {
         let cfg = &self.config;
         let mut state = state;
@@ -69,10 +89,33 @@ impl SimpleIssue {
         let mut cycle: u64 = 0;
         let mut issued: u64 = 0;
         let mut last_write: u64 = 0;
+        // (completion cycle, sequence number) of every in-flight operation;
+        // the in-flight count doubles as the machine's "occupancy".
+        let mut inflight: Vec<(u64, u64)> = Vec::new();
 
         loop {
+            inflight.retain(|&(done_at, seq)| {
+                if done_at <= cycle {
+                    obs.complete(cycle, seq);
+                    false
+                } else {
+                    true
+                }
+            });
+            let occ = inflight.len() as u32;
             match frontend.peek(cycle, program) {
-                FetchSlot::Halted => break,
+                FetchSlot::Halted => {
+                    // The frontend is empty, but issued operations may
+                    // still be in the pipeline: attribute the drain tail
+                    // instead of dropping it, so that every cycle of the
+                    // final count is accounted for.
+                    if cycle >= last_write {
+                        break;
+                    }
+                    stats.stall(StallReason::Drained);
+                    obs.stall(cycle, StallReason::Drained);
+                    end_cycle(obs, &mut stats, &mut cycle, occ);
+                }
                 slot @ (FetchSlot::Dead | FetchSlot::BranchParked) => {
                     if let FetchSlot::BranchParked = slot {
                         // Re-check the parked branch's condition register.
@@ -82,25 +125,30 @@ impl SimpleIssue {
                         if ready {
                             let v = cond_reg.map_or(0, |r| state.reg(r));
                             frontend.resolve_branch(cycle, &pb.inst, v, cfg, &mut stats);
+                            obs.issue(cycle, issued);
                             issued += 1;
                             stats.issue_cycles += 1;
-                            cycle += 1;
+                            end_cycle(obs, &mut stats, &mut cycle, occ);
                             continue;
                         }
                     }
-                    charge_frontend_stall(&slot, &mut stats);
-                    cycle += 1;
+                    if let Some(reason) = charge_frontend_stall(&slot, &mut stats) {
+                        obs.stall(cycle, reason);
+                    }
+                    end_cycle(obs, &mut stats, &mut cycle, occ);
                 }
                 FetchSlot::Inst(pc, inst) => {
                     if issued >= limit {
                         return Err(SimError::InstLimit { limit });
                     }
+                    obs.fetch(cycle, pc);
                     if inst.is_branch() {
                         let cond_reg = inst.src1;
                         let ready = cond_reg.is_none_or(|r| reg_ready[r.index()] <= cycle);
                         if ready {
                             let v = cond_reg.map_or(0, |r| state.reg(r));
                             frontend.resolve_branch(cycle, &inst, v, cfg, &mut stats);
+                            obs.issue(cycle, issued);
                             issued += 1;
                             stats.issue_cycles += 1;
                         } else {
@@ -113,24 +161,27 @@ impl SimpleIssue {
                                 }),
                             );
                             stats.stall(StallReason::BranchWait);
+                            obs.stall(cycle, StallReason::BranchWait);
                         }
-                        cycle += 1;
+                        end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
 
                     // Nop: issues unconditionally, touches nothing.
                     if inst.fu_class().is_none() {
+                        obs.issue(cycle, issued);
                         issued += 1;
                         stats.issue_cycles += 1;
                         frontend.advance();
-                        cycle += 1;
+                        end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
 
                     // (i) source registers not busy
                     if inst.sources().any(|r| reg_ready[r.index()] > cycle) {
                         stats.stall(StallReason::OperandsNotReady);
-                        cycle += 1;
+                        obs.stall(cycle, StallReason::OperandsNotReady);
+                        end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
                     // (ii) destination register not busy (results return
@@ -138,7 +189,8 @@ impl SimpleIssue {
                     if let Some(d) = inst.dst {
                         if reg_ready[d.index()] > cycle {
                             stats.stall(StallReason::DestinationBusy);
-                            cycle += 1;
+                            obs.stall(cycle, StallReason::DestinationBusy);
+                            end_cycle(obs, &mut stats, &mut cycle, occ);
                             continue;
                         }
                     }
@@ -146,7 +198,8 @@ impl SimpleIssue {
                     // (iii) functional unit free
                     if !fus.can_accept(fu, cycle) {
                         stats.stall(StallReason::FuBusy);
-                        cycle += 1;
+                        obs.stall(cycle, StallReason::FuBusy);
+                        end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
                     // (iv) result-bus slot at completion (stores produce
@@ -155,7 +208,8 @@ impl SimpleIssue {
                     let needs_bus = inst.dst.is_some();
                     if needs_bus && !bus.available(cycle + lat) {
                         stats.stall(StallReason::BusConflict);
-                        cycle += 1;
+                        obs.stall(cycle, StallReason::BusConflict);
+                        end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
 
@@ -168,6 +222,9 @@ impl SimpleIssue {
                         reg_ready[d.index()] = cycle + lat;
                     }
                     last_write = last_write.max(cycle + lat);
+                    obs.issue(cycle, issued);
+                    obs.dispatch(cycle, issued, fu, cycle + lat);
+                    inflight.push((cycle + lat, issued));
 
                     // Issue: function (in-order issue with ready operands
                     // makes eager architectural update safe)
@@ -186,14 +243,15 @@ impl SimpleIssue {
                     issued += 1;
                     stats.issue_cycles += 1;
                     frontend.advance();
-                    cycle += 1;
+                    end_cycle(obs, &mut stats, &mut cycle, occ);
                 }
             }
         }
 
         state.pc = frontend.pc();
+        debug_assert_eq!(cycle, cycle.max(last_write));
         Ok(RunResult {
-            cycles: cycle.max(last_write),
+            cycles: cycle,
             instructions: issued,
             state,
             memory: mem,

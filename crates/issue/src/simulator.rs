@@ -15,11 +15,13 @@
 
 use ruu_exec::{ArchState, Memory};
 use ruu_isa::Program;
-use ruu_sim_core::{MachineConfig, RunResult};
+use ruu_sim_core::{MachineConfig, PipelineObserver, RunResult};
 
+use crate::predict::TwoBit;
 use crate::reorder::InOrderPrecise;
 use crate::ruu::Ruu;
 use crate::simple::SimpleIssue;
+use crate::spec_ruu::SpecRuu;
 use crate::tagged::TaggedSim;
 use crate::SimError;
 
@@ -54,6 +56,25 @@ pub trait IssueSimulator: Send {
     fn run(&self, program: &Program, mem: Memory, limit: u64) -> Result<RunResult, SimError> {
         self.run_from(ArchState::new(), mem, program, limit)
     }
+
+    /// As [`IssueSimulator::run_from`], reporting every pipeline event to
+    /// `obs`. The default ignores the observer so that implementations
+    /// without instrumentation remain valid; every in-tree simulator
+    /// overrides it.
+    ///
+    /// # Errors
+    /// As for [`IssueSimulator::run_from`].
+    fn run_observed(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+        obs: &mut dyn PipelineObserver,
+    ) -> Result<RunResult, SimError> {
+        let _ = obs;
+        self.run_from(state, mem, program, limit)
+    }
 }
 
 impl IssueSimulator for SimpleIssue {
@@ -69,6 +90,17 @@ impl IssueSimulator for SimpleIssue {
         limit: u64,
     ) -> Result<RunResult, SimError> {
         SimpleIssue::run_from(self, state, mem, program, limit)
+    }
+
+    fn run_observed(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+        obs: &mut dyn PipelineObserver,
+    ) -> Result<RunResult, SimError> {
+        SimpleIssue::run_observed(self, state, mem, program, limit, obs)
     }
 }
 
@@ -86,6 +118,17 @@ impl IssueSimulator for TaggedSim {
     ) -> Result<RunResult, SimError> {
         TaggedSim::run_from(self, state, mem, program, limit)
     }
+
+    fn run_observed(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+        obs: &mut dyn PipelineObserver,
+    ) -> Result<RunResult, SimError> {
+        TaggedSim::run_observed(self, state, mem, program, limit, obs)
+    }
 }
 
 impl IssueSimulator for Ruu {
@@ -102,6 +145,17 @@ impl IssueSimulator for Ruu {
     ) -> Result<RunResult, SimError> {
         Ruu::run_from(self, state, mem, program, limit)
     }
+
+    fn run_observed(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+        obs: &mut dyn PipelineObserver,
+    ) -> Result<RunResult, SimError> {
+        Ruu::run_observed(self, state, mem, program, limit, obs)
+    }
 }
 
 impl IssueSimulator for InOrderPrecise {
@@ -117,6 +171,52 @@ impl IssueSimulator for InOrderPrecise {
         limit: u64,
     ) -> Result<RunResult, SimError> {
         InOrderPrecise::run_from(self, state, mem, program, limit)
+    }
+
+    fn run_observed(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+        obs: &mut dyn PipelineObserver,
+    ) -> Result<RunResult, SimError> {
+        InOrderPrecise::run_observed(self, state, mem, program, limit, obs)
+    }
+}
+
+/// The speculative RUU behind the uniform interface: each run gets a
+/// fresh two-bit predictor, so `&self` runs stay independent and
+/// repeatable. The architectural [`RunResult`] is returned; the
+/// speculation counters are available via [`SpecRuu::run`] directly.
+impl IssueSimulator for SpecRuu {
+    fn config(&self) -> &MachineConfig {
+        SpecRuu::config(self)
+    }
+
+    fn run_from(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+    ) -> Result<RunResult, SimError> {
+        let mut pred = TwoBit::default();
+        let mut nobs = ruu_sim_core::NullObserver;
+        SpecRuu::run_from_observed(self, state, mem, program, limit, &mut pred, &mut nobs)
+            .map(|r| r.run)
+    }
+
+    fn run_observed(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+        obs: &mut dyn PipelineObserver,
+    ) -> Result<RunResult, SimError> {
+        let mut pred = TwoBit::default();
+        SpecRuu::run_from_observed(self, state, mem, program, limit, &mut pred, obs).map(|r| r.run)
     }
 }
 
@@ -163,6 +263,47 @@ mod tests {
             let r = sim.run(&p, Memory::new(1 << 10), 1_000).unwrap();
             assert_eq!(r.state.reg(Reg::a(2)), 14);
         }
+    }
+
+    #[test]
+    fn run_observed_satisfies_cycle_accounting() {
+        use ruu_sim_core::CycleAccountant;
+        let cfg = MachineConfig::paper();
+        let p = tiny_program();
+        let sims: Vec<Box<dyn IssueSimulator>> = vec![
+            Box::new(SimpleIssue::new(cfg.clone())),
+            Box::new(TaggedSim::new(
+                cfg.clone(),
+                WindowKind::Merged { entries: 8 },
+            )),
+            Box::new(Ruu::new(cfg.clone(), 8, Bypass::Full)),
+            Box::new(InOrderPrecise::new(
+                cfg.clone(),
+                PreciseScheme::FutureFile,
+                8,
+            )),
+            Box::new(SpecRuu::new(cfg.clone(), 8, Bypass::Full)),
+        ];
+        for sim in &sims {
+            let mut acct = CycleAccountant::default();
+            let r = sim
+                .run_observed(ArchState::new(), Memory::new(1 << 10), &p, 1_000, &mut acct)
+                .unwrap();
+            acct.verify(r.cycles).unwrap();
+        }
+    }
+
+    #[test]
+    fn spec_ruu_trait_run_matches_inherent_run() {
+        let cfg = MachineConfig::paper();
+        let p = tiny_program();
+        let sim = SpecRuu::new(cfg, 8, Bypass::Full);
+        let mut pred = TwoBit::default();
+        let inherent = sim.run(&p, Memory::new(1 << 10), 1_000, &mut pred).unwrap();
+        let boxed: Box<dyn IssueSimulator> = Box::new(sim);
+        let via_trait = IssueSimulator::run(&*boxed, &p, Memory::new(1 << 10), 1_000).unwrap();
+        assert_eq!(inherent.run.cycles, via_trait.cycles);
+        assert_eq!(inherent.run.state, via_trait.state);
     }
 
     #[test]

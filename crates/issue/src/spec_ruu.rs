@@ -25,8 +25,8 @@ use std::collections::{BTreeMap, VecDeque};
 use ruu_exec::{ArchState, Memory};
 use ruu_isa::{semantics, FuClass, Inst, Opcode, Program, Reg, NUM_REGS};
 use ruu_sim_core::{
-    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, RunResult, RunStats, SlotReservation,
-    StallReason,
+    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, NullObserver, PipelineObserver,
+    RunResult, RunStats, SlotReservation, StallReason,
 };
 
 use crate::common::{Broadcasts, Operand, Tag};
@@ -80,6 +80,12 @@ impl SpecRuu {
         }
     }
 
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
     /// Runs `program` to completion under speculation with `predictor`.
     ///
     /// # Errors
@@ -92,7 +98,42 @@ impl SpecRuu {
         limit: u64,
         predictor: &mut dyn Predictor,
     ) -> Result<SpecRunResult, SimError> {
-        let mut core = SCore::new(self, mem, program, limit, predictor);
+        let mut nobs = NullObserver;
+        self.run_observed(program, mem, limit, predictor, &mut nobs)
+    }
+
+    /// As [`SpecRuu::run`], reporting every pipeline event to `obs`
+    /// (including [`PipelineObserver::flush`] on each misprediction
+    /// squash).
+    ///
+    /// # Errors
+    /// As for [`SpecRuu::run`].
+    pub fn run_observed(
+        &self,
+        program: &Program,
+        mem: Memory,
+        limit: u64,
+        predictor: &mut dyn Predictor,
+        obs: &mut dyn PipelineObserver,
+    ) -> Result<SpecRunResult, SimError> {
+        self.run_from_observed(ArchState::new(), mem, program, limit, predictor, obs)
+    }
+
+    /// As [`SpecRuu::run_observed`], starting from an explicit
+    /// architectural state (fetch starts at `state.pc`).
+    ///
+    /// # Errors
+    /// As for [`SpecRuu::run`].
+    pub fn run_from_observed(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+        predictor: &mut dyn Predictor,
+        obs: &mut dyn PipelineObserver,
+    ) -> Result<SpecRunResult, SimError> {
+        let mut core = SCore::new(self, state, mem, program, limit, predictor, obs);
         core.run()
     }
 }
@@ -185,6 +226,7 @@ struct SCore<'a> {
     broadcasts: Broadcasts,
     stats: RunStats,
     spec: SpecStats,
+    obs: &'a mut dyn PipelineObserver,
 
     pc: u32,
     next_fetch_cycle: u64,
@@ -201,11 +243,14 @@ struct SCore<'a> {
 impl<'a> SCore<'a> {
     fn new(
         sim: &'a SpecRuu,
+        state: ArchState,
         mem: Memory,
         program: &'a Program,
         limit: u64,
         predictor: &'a mut dyn Predictor,
+        obs: &'a mut dyn PipelineObserver,
     ) -> Self {
+        let pc = state.pc;
         SCore {
             cfg: &sim.config,
             program,
@@ -214,7 +259,7 @@ impl<'a> SCore<'a> {
             limit,
             predictor,
             cycle: 0,
-            arch: ArchState::new(),
+            arch: state,
             mem,
             ni: [0; NUM_REGS],
             li: [0; NUM_REGS],
@@ -230,7 +275,8 @@ impl<'a> SCore<'a> {
             broadcasts: Broadcasts::default(),
             stats: RunStats::default(),
             spec: SpecStats::default(),
-            pc: 0,
+            obs,
+            pc,
             next_fetch_cycle: 0,
             halted: false,
             seq_counter: 0,
@@ -296,6 +342,7 @@ impl<'a> SCore<'a> {
             match ev {
                 Event::Finish(seq) => {
                     let i = self.pos(seq);
+                    self.obs.complete(self.cycle, seq);
                     let e = &mut self.window[i];
                     e.executed = true;
                     let dst_tag = e.dst_tag;
@@ -321,6 +368,7 @@ impl<'a> SCore<'a> {
                 }
                 Event::StoreExec(seq) => {
                     let i = self.pos(seq);
+                    self.obs.complete(self.cycle, seq);
                     let e = &mut self.window[i];
                     e.executed = true;
                     let data = e.ops[1].value();
@@ -386,6 +434,8 @@ impl<'a> SCore<'a> {
         let mut remaining = Vec::new();
         for seq in queue {
             if self.bus.try_reserve(self.cycle + lat) {
+                self.obs
+                    .dispatch(self.cycle, seq, FuClass::Memory, self.cycle + lat);
                 self.schedule(self.cycle + lat, Event::Finish(seq));
             } else {
                 remaining.push(seq);
@@ -436,6 +486,8 @@ impl<'a> SCore<'a> {
                         let e = &mut self.window[i];
                         e.result = Some(v);
                         e.dispatched = true;
+                        self.obs
+                            .dispatch(self.cycle, seq, FuClass::Memory, self.cycle + lat);
                         self.schedule(self.cycle + lat, Event::Finish(seq));
                         paths -= 1;
                     }
@@ -443,6 +495,12 @@ impl<'a> SCore<'a> {
                 MemPhase::StorePending if self.fus.can_accept(FuClass::Memory, self.cycle) => {
                     self.fus.accept(FuClass::Memory, self.cycle);
                     self.window[i].dispatched = true;
+                    self.obs.dispatch(
+                        self.cycle,
+                        seq,
+                        FuClass::Memory,
+                        self.cycle + self.cfg.store_exec_latency,
+                    );
                     self.schedule(
                         self.cycle + self.cfg.store_exec_latency,
                         Event::StoreExec(seq),
@@ -464,6 +522,7 @@ impl<'a> SCore<'a> {
                         );
                         e.result = Some(v);
                         e.dispatched = true;
+                        self.obs.dispatch(self.cycle, seq, fu, self.cycle + lat);
                         self.schedule(self.cycle + lat, Event::Finish(seq));
                         paths -= 1;
                     }
@@ -501,6 +560,7 @@ impl<'a> SCore<'a> {
                 self.ni[tag.reg.index()] -= 1;
                 self.gate_all(tag, v);
             }
+            self.obs.commit(self.cycle, e.seq);
             self.completed += 1;
         }
     }
@@ -545,6 +605,7 @@ impl<'a> SCore<'a> {
             .collect();
         squashed.sort_unstable_by(|a, c| c.cmp(a));
         self.spec.nullified += squashed.len() as u64;
+        self.obs.flush(self.cycle, squashed.len() as u64);
         for &seq in &squashed {
             self.lr.squash(seq);
             // Undo the instance the squashed instruction acquired. (NI is
@@ -618,23 +679,33 @@ impl<'a> SCore<'a> {
     fn phase_issue(&mut self) -> Result<(), SimError> {
         if self.halted {
             self.stats.stall(StallReason::Drained);
+            self.obs.stall(self.cycle, StallReason::Drained);
             return Ok(());
         }
         if self.cycle < self.next_fetch_cycle {
             self.stats.stall(StallReason::DeadCycle);
+            self.obs.stall(self.cycle, StallReason::DeadCycle);
             return Ok(());
         }
+        // Running off the end of the program or decoding HALT drains the
+        // machine: the cycle is charged like every other drain cycle (it
+        // previously went unaccounted, breaking the cycle identity).
         let Some(&inst) = self.program.get(self.pc) else {
             self.halted = true;
+            self.stats.stall(StallReason::Drained);
+            self.obs.stall(self.cycle, StallReason::Drained);
             return Ok(());
         };
         if inst.is_halt() {
             self.halted = true;
+            self.stats.stall(StallReason::Drained);
+            self.obs.stall(self.cycle, StallReason::Drained);
             return Ok(());
         }
         if self.completed >= self.limit {
             return Err(SimError::InstLimit { limit: self.limit });
         }
+        self.obs.fetch(self.cycle, self.pc);
 
         if inst.is_branch() {
             let cond = match inst.src1 {
@@ -693,6 +764,7 @@ impl<'a> SCore<'a> {
                 li: self.li,
                 ff: self.ff,
             });
+            self.obs.issue(self.cycle, self.seq_counter);
             self.seq_counter += 1;
             self.pc = next_pc;
             self.next_fetch_cycle = self.cycle + 1 + bubble;
@@ -702,16 +774,19 @@ impl<'a> SCore<'a> {
 
         if self.window.len() >= self.capacity {
             self.stats.stall(StallReason::WindowFull);
+            self.obs.stall(self.cycle, StallReason::WindowFull);
             return Ok(());
         }
         if let Some(d) = inst.dst {
             if self.ni[d.index()] >= self.cfg.max_instances() {
                 self.stats.stall(StallReason::RegInstanceLimit);
+                self.obs.stall(self.cycle, StallReason::RegInstanceLimit);
                 return Ok(());
             }
         }
         if inst.is_mem() && self.lr.is_full() {
             self.stats.stall(StallReason::LoadRegFull);
+            self.obs.stall(self.cycle, StallReason::LoadRegFull);
             return Ok(());
         }
 
@@ -755,6 +830,7 @@ impl<'a> SCore<'a> {
         if is_mem {
             self.mem_queue.push_back(seq);
         }
+        self.obs.issue(self.cycle, seq);
         self.stats.issue_cycles += 1;
         self.pc += 1;
         Ok(())
@@ -772,7 +848,8 @@ impl<'a> SCore<'a> {
     fn run(&mut self) -> Result<SpecRunResult, SimError> {
         loop {
             self.broadcasts.clear();
-            self.stats.observe_occupancy(self.window.len() as u32);
+            let occ = self.window.len() as u32;
+            self.stats.observe_occupancy(occ);
 
             self.phase_completions();
             self.phase_addr_gen();
@@ -790,6 +867,7 @@ impl<'a> SCore<'a> {
                 return Err(SimError::Deadlock { cycle: self.cycle });
             }
 
+            self.obs.cycle_end(self.cycle, occ);
             if self.drained() {
                 self.cycle += 1;
                 break;

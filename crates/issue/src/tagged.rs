@@ -31,8 +31,8 @@ use std::collections::{BTreeMap, VecDeque};
 use ruu_exec::{ArchState, Memory};
 use ruu_isa::{semantics, FuClass, Inst, Program, Reg, NUM_REGS};
 use ruu_sim_core::{
-    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, RunResult, RunStats, SlotReservation,
-    StallReason,
+    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, NullObserver, PipelineObserver,
+    RunResult, RunStats, SlotReservation, StallReason,
 };
 
 use crate::common::{Broadcasts, FetchSlot, Frontend, Operand, Tag};
@@ -130,7 +130,23 @@ impl TaggedSim {
         program: &Program,
         limit: u64,
     ) -> Result<RunResult, SimError> {
-        let mut core = TCore::new(self, state, mem, program, limit);
+        let mut nobs = NullObserver;
+        self.run_observed(state, mem, program, limit, &mut nobs)
+    }
+
+    /// As [`TaggedSim::run_from`], reporting every pipeline event to `obs`.
+    ///
+    /// # Errors
+    /// As for [`TaggedSim::run`].
+    pub fn run_observed(
+        &self,
+        state: ArchState,
+        mem: Memory,
+        program: &Program,
+        limit: u64,
+        obs: &mut dyn PipelineObserver,
+    ) -> Result<RunResult, SimError> {
+        let mut core = TCore::new(self, state, mem, program, limit, obs);
         core.run(None).map(|o| o.expect("no probe: run completes"))
     }
 
@@ -150,7 +166,8 @@ impl TaggedSim {
         limit: u64,
         probe_seq: u64,
     ) -> Result<Option<(ArchState, Memory)>, SimError> {
-        let mut core = TCore::new(self, ArchState::new(), mem, program, limit);
+        let mut nobs = NullObserver;
+        let mut core = TCore::new(self, ArchState::new(), mem, program, limit, &mut nobs);
         let mut probe = Some(probe_seq);
         match core.run(probe.take().map(Probe::new).inspect(|_p| {
             probe = None;
@@ -224,6 +241,7 @@ struct TCore<'a> {
     frontend: Frontend,
     broadcasts: Broadcasts,
     stats: RunStats,
+    obs: &'a mut dyn PipelineObserver,
     issued: u64,
     retired: u64,
     events_scheduled: u64,
@@ -240,6 +258,7 @@ impl<'a> TCore<'a> {
         mem: Memory,
         program: &'a Program,
         limit: u64,
+        obs: &'a mut dyn PipelineObserver,
     ) -> Self {
         TCore {
             cfg: &sim.config,
@@ -260,6 +279,7 @@ impl<'a> TCore<'a> {
             bus: SlotReservation::new(sim.config.result_buses),
             broadcasts: Broadcasts::default(),
             stats: RunStats::default(),
+            obs,
             issued: 0,
             retired: 0,
             events_scheduled: 0,
@@ -354,6 +374,7 @@ impl<'a> TCore<'a> {
             match ev {
                 Event::Finish(seq) => {
                     let e = self.window.remove(&seq).expect("finishing entry is live");
+                    self.obs.complete(self.cycle, seq);
                     if let Some(tag) = e.dst_tag {
                         let v = e.result.expect("finished producer has a result");
                         self.broadcast(tag, v);
@@ -372,6 +393,7 @@ impl<'a> TCore<'a> {
                 }
                 Event::StoreExec(seq) => {
                     let e = self.window.remove(&seq).expect("executing store is live");
+                    self.obs.complete(self.cycle, seq);
                     let ea = e.ea.expect("store has an address");
                     let data = e.ops[1].value();
                     self.mem.write(ea, data);
@@ -438,6 +460,8 @@ impl<'a> TCore<'a> {
                     .get_mut(&seq)
                     .expect("forwarding load is live")
                     .dispatched = true;
+                self.obs
+                    .dispatch(self.cycle, seq, FuClass::Memory, self.cycle + lat);
                 self.events_scheduled += 1;
                 self.events
                     .entry(self.cycle + lat)
@@ -513,6 +537,8 @@ impl<'a> TCore<'a> {
                         let e = self.window.get_mut(&seq).expect("candidate is live");
                         e.result = Some(v);
                         e.dispatched = true;
+                        self.obs
+                            .dispatch(self.cycle, seq, FuClass::Memory, self.cycle + lat);
                         self.events_scheduled += 1;
                         self.events
                             .entry(self.cycle + lat)
@@ -527,6 +553,12 @@ impl<'a> TCore<'a> {
                         .get_mut(&seq)
                         .expect("candidate is live")
                         .dispatched = true;
+                    self.obs.dispatch(
+                        self.cycle,
+                        seq,
+                        FuClass::Memory,
+                        self.cycle + self.cfg.store_exec_latency,
+                    );
                     self.events_scheduled += 1;
                     self.events
                         .entry(self.cycle + self.cfg.store_exec_latency)
@@ -549,6 +581,7 @@ impl<'a> TCore<'a> {
                         );
                         e.result = Some(v);
                         e.dispatched = true;
+                        self.obs.dispatch(self.cycle, seq, fu, self.cycle + lat);
                         self.events_scheduled += 1;
                         self.events
                             .entry(self.cycle + lat)
@@ -577,8 +610,12 @@ impl<'a> TCore<'a> {
             FetchSlot::Halted => {
                 self.frontend.set_halted();
                 self.stats.stall(StallReason::Drained);
+                self.obs.stall(self.cycle, StallReason::Drained);
             }
-            FetchSlot::Dead => self.stats.stall(StallReason::DeadCycle),
+            FetchSlot::Dead => {
+                self.stats.stall(StallReason::DeadCycle);
+                self.obs.stall(self.cycle, StallReason::DeadCycle);
+            }
             FetchSlot::BranchParked => {
                 let pb = *self.frontend.pending_branch().expect("branch is parked");
                 if pb.cond.is_ready() {
@@ -589,16 +626,19 @@ impl<'a> TCore<'a> {
                         self.cfg,
                         &mut self.stats,
                     );
+                    self.obs.issue(self.cycle, self.issued);
                     self.issued += 1;
                     self.stats.issue_cycles += 1;
                 } else {
                     self.stats.stall(StallReason::BranchWait);
+                    self.obs.stall(self.cycle, StallReason::BranchWait);
                 }
             }
             FetchSlot::Inst(pc, inst) => {
                 if self.issued >= self.limit {
                     return Err(SimError::InstLimit { limit: self.limit });
                 }
+                self.obs.fetch(self.cycle, pc);
                 if inst.is_branch() {
                     let cond = match inst.src1 {
                         Some(r) => self.read_operand(r),
@@ -612,21 +652,25 @@ impl<'a> TCore<'a> {
                             self.cfg,
                             &mut self.stats,
                         );
+                        self.obs.issue(self.cycle, self.issued);
                         self.issued += 1;
                         self.stats.issue_cycles += 1;
                     } else {
                         self.frontend.park_branch(pc, inst, cond);
                         self.stats.stall(StallReason::BranchWait);
+                        self.obs.stall(self.cycle, StallReason::BranchWait);
                     }
                     return Ok(());
                 }
 
                 if !self.has_room(&inst) {
                     self.stats.stall(StallReason::WindowFull);
+                    self.obs.stall(self.cycle, StallReason::WindowFull);
                     return Ok(());
                 }
                 if inst.is_mem() && self.lr.is_full() {
                     self.stats.stall(StallReason::LoadRegFull);
+                    self.obs.stall(self.cycle, StallReason::LoadRegFull);
                     return Ok(());
                 }
 
@@ -673,6 +717,7 @@ impl<'a> TCore<'a> {
                 } else {
                     self.retired += 1;
                 }
+                self.obs.issue(self.cycle, seq);
                 self.issued += 1;
                 self.stats.issue_cycles += 1;
                 self.frontend.advance();
@@ -693,7 +738,8 @@ impl<'a> TCore<'a> {
         self.probe = probe;
         loop {
             self.broadcasts.clear();
-            self.stats.observe_occupancy(self.window.len() as u32);
+            let occ = self.window.len() as u32;
+            self.stats.observe_occupancy(occ);
 
             self.phase_completions();
             self.phase_addr_gen();
@@ -709,6 +755,7 @@ impl<'a> TCore<'a> {
                 return Err(SimError::Deadlock { cycle: self.cycle });
             }
 
+            self.obs.cycle_end(self.cycle, occ);
             if self.drained() {
                 self.cycle += 1;
                 break;

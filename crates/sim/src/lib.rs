@@ -13,16 +13,25 @@
 //!   disambiguation by exact address match, with store→load and load→load
 //!   data forwarding;
 //! * [`RunStats`] / [`RunResult`] — issue-rate accounting and stall
-//!   breakdowns common to every simulator.
+//!   breakdowns common to every simulator;
+//! * [`PipelineObserver`] — per-cycle pipeline event hooks (fetch, issue,
+//!   dispatch, complete, commit, flush, stall, cycle end) with the
+//!   [`CycleAccountant`], [`StallHistogram`] and [`ChromeTraceObserver`]
+//!   implementations.
 
 mod bus;
 mod config;
 mod fu;
 mod loadregs;
+mod observe;
 mod stats;
 
 pub use bus::SlotReservation;
 pub use config::MachineConfig;
 pub use fu::FuPool;
 pub use loadregs::{LoadRegUnit, LrOutcome, MemOpKind, OpId};
+pub use observe::{
+    AccountingViolation, ChromeTraceObserver, CycleAccountant, NullObserver, PipelineObserver,
+    StallHistogram, Tee,
+};
 pub use stats::{RunResult, RunStats, StallReason};

@@ -1,0 +1,636 @@
+//! Per-cycle pipeline observability.
+//!
+//! Every issue-mechanism simulator exposes its canonical pipeline events
+//! through the [`PipelineObserver`] trait: an observer is handed to
+//! `IssueSimulator::run_observed` (in `ruu-issue`) and receives one
+//! callback per event as the simulated machine advances. The hooks mirror
+//! the paper's cycle accounting: in any cycle the decode/issue stage either
+//! issues an instruction or stalls for exactly one [`StallReason`], so
+//!
+//! ```text
+//! cycles == issue_cycles + Σ stall_cycles
+//! ```
+//!
+//! — the invariant [`CycleAccountant`] enforces. Two further observers are
+//! provided: [`StallHistogram`] (per-reason stall breakdown for bench
+//! tables) and [`ChromeTraceObserver`] (Chrome `trace_event` JSON for
+//! `chrome://tracing`, driven by the `ruu-sim trace` subcommand).
+//!
+//! All hooks have no-op defaults, so an observer implements only what it
+//! needs, and the null observer used by the unobserved entry points costs
+//! nothing but virtual dispatch.
+
+use std::fmt;
+
+use ruu_isa::FuClass;
+
+use crate::stats::StallReason;
+
+/// Receiver for the canonical pipeline events of one simulation run.
+///
+/// Cycle numbers are nondecreasing across calls. `seq` is the dynamic
+/// instruction sequence number as counted by the emitting simulator
+/// (speculative machines number squashed instructions too).
+pub trait PipelineObserver {
+    /// An instruction was presented to the decode/issue stage this cycle.
+    /// Fires at most once per cycle (one instruction decoded per cycle).
+    fn fetch(&mut self, _cycle: u64, _pc: u32) {}
+
+    /// The decode/issue stage accepted an instruction (into the window,
+    /// or straight to a functional unit in the in-order machines).
+    fn issue(&mut self, _cycle: u64, _seq: u64) {}
+
+    /// An instruction left the window for functional unit `fu`; its result
+    /// appears on the result bus at `complete_at`.
+    fn dispatch(&mut self, _cycle: u64, _seq: u64, _fu: FuClass, _complete_at: u64) {}
+
+    /// A functional-unit result came back over the result bus.
+    fn complete(&mut self, _cycle: u64, _seq: u64) {}
+
+    /// An instruction retired its result to the architectural state.
+    fn commit(&mut self, _cycle: u64, _seq: u64) {}
+
+    /// Speculative state was squashed (mispredict repair); `squashed` is
+    /// the number of in-flight window entries discarded.
+    fn flush(&mut self, _cycle: u64, _squashed: u64) {}
+
+    /// The decode/issue stage could not issue this cycle.
+    fn stall(&mut self, _cycle: u64, _reason: StallReason) {}
+
+    /// A simulated cycle ended with `occupancy` instructions in the
+    /// window (in-flight count for the windowless in-order machines).
+    /// Fires exactly once per simulated cycle.
+    fn cycle_end(&mut self, _cycle: u64, _occupancy: u32) {}
+}
+
+/// Observer that ignores every event; used by the unobserved `run` /
+/// `run_from` entry points.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl PipelineObserver for NullObserver {}
+
+/// Fans every event out to two observers (e.g. a [`CycleAccountant`]
+/// alongside a [`ChromeTraceObserver`]).
+pub struct Tee<'a> {
+    a: &'a mut dyn PipelineObserver,
+    b: &'a mut dyn PipelineObserver,
+}
+
+impl<'a> Tee<'a> {
+    /// Pairs two observers.
+    pub fn new(a: &'a mut dyn PipelineObserver, b: &'a mut dyn PipelineObserver) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl PipelineObserver for Tee<'_> {
+    fn fetch(&mut self, cycle: u64, pc: u32) {
+        self.a.fetch(cycle, pc);
+        self.b.fetch(cycle, pc);
+    }
+    fn issue(&mut self, cycle: u64, seq: u64) {
+        self.a.issue(cycle, seq);
+        self.b.issue(cycle, seq);
+    }
+    fn dispatch(&mut self, cycle: u64, seq: u64, fu: FuClass, complete_at: u64) {
+        self.a.dispatch(cycle, seq, fu, complete_at);
+        self.b.dispatch(cycle, seq, fu, complete_at);
+    }
+    fn complete(&mut self, cycle: u64, seq: u64) {
+        self.a.complete(cycle, seq);
+        self.b.complete(cycle, seq);
+    }
+    fn commit(&mut self, cycle: u64, seq: u64) {
+        self.a.commit(cycle, seq);
+        self.b.commit(cycle, seq);
+    }
+    fn flush(&mut self, cycle: u64, squashed: u64) {
+        self.a.flush(cycle, squashed);
+        self.b.flush(cycle, squashed);
+    }
+    fn stall(&mut self, cycle: u64, reason: StallReason) {
+        self.a.stall(cycle, reason);
+        self.b.stall(cycle, reason);
+    }
+    fn cycle_end(&mut self, cycle: u64, occupancy: u32) {
+        self.a.cycle_end(cycle, occupancy);
+        self.b.cycle_end(cycle, occupancy);
+    }
+}
+
+/// Cycle-accounting report for a run that violated the identity
+/// `cycles == issue_cycles + Σ stall_cycles`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccountingViolation {
+    /// Total cycles the run reported.
+    pub cycles: u64,
+    /// Issue events the accountant observed.
+    pub issue_cycles: u64,
+    /// Stall events observed, per reason (indexed like
+    /// [`StallReason::ALL`]).
+    pub stall_cycles: [u64; StallReason::ALL.len()],
+    /// `cycle_end` callbacks observed (should equal `cycles`).
+    pub cycles_seen: u64,
+}
+
+impl AccountingViolation {
+    /// Total observed stall events across all reasons.
+    #[must_use]
+    pub fn total_stalls(&self) -> u64 {
+        self.stall_cycles.iter().sum()
+    }
+}
+
+impl fmt::Display for AccountingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle accounting violated: cycles={} but issue_cycles={} + stalls={} = {} \
+             ({} cycle_end events;",
+            self.cycles,
+            self.issue_cycles,
+            self.total_stalls(),
+            self.issue_cycles + self.total_stalls(),
+            self.cycles_seen,
+        )?;
+        for r in StallReason::ALL {
+            let n = self.stall_cycles[r.idx()];
+            if n > 0 {
+                write!(f, " {r}={n}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for AccountingViolation {}
+
+/// Observer that enforces the cycle-accounting identity: every simulated
+/// cycle must be attributed to exactly one issue or one stall.
+///
+/// Attach it via `run_observed`, then call [`CycleAccountant::check`] with
+/// the run's cycle count: in debug builds a violation panics (so tests and
+/// development runs fail loudly); in release builds the structured
+/// [`AccountingViolation`] report is returned for the caller to handle.
+#[derive(Debug, Default, Clone)]
+pub struct CycleAccountant {
+    issue_cycles: u64,
+    stall_cycles: [u64; StallReason::ALL.len()],
+    cycles_seen: u64,
+}
+
+impl CycleAccountant {
+    /// Issue events observed so far.
+    #[must_use]
+    pub fn issue_cycles(&self) -> u64 {
+        self.issue_cycles
+    }
+
+    /// Stall events observed so far, across all reasons.
+    #[must_use]
+    pub fn total_stalls(&self) -> u64 {
+        self.stall_cycles.iter().sum()
+    }
+
+    /// `cycle_end` events observed so far.
+    #[must_use]
+    pub fn cycles_seen(&self) -> u64 {
+        self.cycles_seen
+    }
+
+    /// Verifies the identity against a run's final cycle count without
+    /// panicking; returns the structured report on violation.
+    ///
+    /// Both equalities must hold: the attributed events must sum to
+    /// `cycles`, and the observer must have seen exactly one `cycle_end`
+    /// per cycle (catching simulators that drop or double-count cycles).
+    pub fn verify(&self, cycles: u64) -> Result<(), AccountingViolation> {
+        if self.issue_cycles + self.total_stalls() == cycles && self.cycles_seen == cycles {
+            Ok(())
+        } else {
+            Err(AccountingViolation {
+                cycles,
+                issue_cycles: self.issue_cycles,
+                stall_cycles: self.stall_cycles,
+                cycles_seen: self.cycles_seen,
+            })
+        }
+    }
+
+    /// Like [`CycleAccountant::verify`], but panics on violation in debug
+    /// builds.
+    pub fn check(&self, cycles: u64) -> Result<(), AccountingViolation> {
+        match self.verify(cycles) {
+            Ok(()) => Ok(()),
+            Err(v) => {
+                if cfg!(debug_assertions) {
+                    panic!("{v}");
+                }
+                Err(v)
+            }
+        }
+    }
+}
+
+impl PipelineObserver for CycleAccountant {
+    fn issue(&mut self, _cycle: u64, _seq: u64) {
+        self.issue_cycles += 1;
+    }
+    fn stall(&mut self, _cycle: u64, reason: StallReason) {
+        self.stall_cycles[reason.idx()] += 1;
+    }
+    fn cycle_end(&mut self, _cycle: u64, _occupancy: u32) {
+        self.cycles_seen += 1;
+    }
+}
+
+/// Observer that accumulates a per-reason stall histogram (plus issue
+/// cycles and occupancy), for the bench harness's stall-breakdown tables.
+#[derive(Debug, Default, Clone)]
+pub struct StallHistogram {
+    issue_cycles: u64,
+    stall_cycles: [u64; StallReason::ALL.len()],
+    cycles: u64,
+    occupancy_sum: u64,
+}
+
+impl StallHistogram {
+    /// Issue cycles observed.
+    #[must_use]
+    pub fn issue_cycles(&self) -> u64 {
+        self.issue_cycles
+    }
+
+    /// Total cycles observed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Stall cycles attributed to `reason`.
+    #[must_use]
+    pub fn stalls(&self, reason: StallReason) -> u64 {
+        self.stall_cycles[reason.idx()]
+    }
+
+    /// Total stall cycles across all reasons.
+    #[must_use]
+    pub fn total_stalls(&self) -> u64 {
+        self.stall_cycles.iter().sum()
+    }
+
+    /// Mean window occupancy over the observed cycles (`None` for an
+    /// empty run).
+    #[must_use]
+    pub fn mean_occupancy(&self) -> Option<f64> {
+        if self.cycles == 0 {
+            None
+        } else {
+            Some(self.occupancy_sum as f64 / self.cycles as f64)
+        }
+    }
+
+    /// Accumulates another histogram into this one (suite totals).
+    pub fn absorb(&mut self, other: &StallHistogram) {
+        self.issue_cycles += other.issue_cycles;
+        self.cycles += other.cycles;
+        self.occupancy_sum += other.occupancy_sum;
+        for (into, from) in self.stall_cycles.iter_mut().zip(other.stall_cycles) {
+            *into += from;
+        }
+    }
+
+    /// `(reason, cycles)` rows for the nonzero stall reasons, in
+    /// [`StallReason::ALL`] order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(StallReason, u64)> {
+        StallReason::ALL
+            .into_iter()
+            .filter_map(|r| {
+                let n = self.stalls(r);
+                (n > 0).then_some((r, n))
+            })
+            .collect()
+    }
+}
+
+impl PipelineObserver for StallHistogram {
+    fn issue(&mut self, _cycle: u64, _seq: u64) {
+        self.issue_cycles += 1;
+    }
+    fn stall(&mut self, _cycle: u64, reason: StallReason) {
+        self.stall_cycles[reason.idx()] += 1;
+    }
+    fn cycle_end(&mut self, _cycle: u64, occupancy: u32) {
+        self.cycles += 1;
+        self.occupancy_sum += u64::from(occupancy);
+    }
+}
+
+/// One buffered Chrome `trace_event`.
+#[derive(Debug, Clone)]
+enum TraceEvent {
+    /// Complete ("X") duration event on a functional-unit track.
+    Span {
+        ts: u64,
+        dur: u64,
+        tid: u32,
+        name: String,
+    },
+    /// Instant ("i") event (commits, flushes, stalls).
+    Instant { ts: u64, tid: u32, name: String },
+    /// Counter ("C") sample of window occupancy.
+    Counter { ts: u64, value: u32 },
+}
+
+impl TraceEvent {
+    fn ts(&self) -> u64 {
+        match self {
+            TraceEvent::Span { ts, .. }
+            | TraceEvent::Instant { ts, .. }
+            | TraceEvent::Counter { ts, .. } => *ts,
+        }
+    }
+}
+
+/// Observer that records a Chrome `trace_event` timeline: one track
+/// ("thread") per functional-unit class carrying a span per dispatched
+/// instruction, instant markers for commits/flushes/stalls, and a counter
+/// track sampling window occupancy each cycle.
+///
+/// [`ChromeTraceObserver::to_json`] serializes the buffered events —
+/// sorted by timestamp, one simulated cycle per microsecond — into a JSON
+/// document that loads directly in `chrome://tracing` (or any Perfetto
+/// viewer). The serialization is self-contained because `ruu-sim-core`
+/// sits below the crate that owns the report writer.
+#[derive(Debug, Default, Clone)]
+pub struct ChromeTraceObserver {
+    events: Vec<TraceEvent>,
+}
+
+/// Track id for instant commit markers.
+const TID_COMMIT: u32 = 90;
+/// Track id for flush markers.
+const TID_FLUSH: u32 = 91;
+/// Track id for stall markers.
+const TID_STALL: u32 = 92;
+
+impl ChromeTraceObserver {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        ChromeTraceObserver::default()
+    }
+
+    /// Number of buffered trace events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the trace as Chrome `trace_event` JSON. Events are
+    /// emitted in nondecreasing timestamp order; metadata (track names)
+    /// precedes them.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut order: Vec<&TraceEvent> = self.events.iter().collect();
+        order.sort_by_key(|e| e.ts());
+
+        let mut out = String::with_capacity(64 * order.len() + 1024);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |out: &mut String, ev: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&ev);
+        };
+
+        for fu in FuClass::ALL {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{},\
+                     \"args\":{{\"name\":{}}}}}",
+                    fu_tid(fu),
+                    json_string(&format!("fu {fu}")),
+                ),
+            );
+        }
+        for (tid, name) in [
+            (TID_COMMIT, "commit"),
+            (TID_FLUSH, "flush"),
+            (TID_STALL, "stall"),
+        ] {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"name\":{}}}}}",
+                    json_string(name),
+                ),
+            );
+        }
+
+        for ev in order {
+            let rendered = match ev {
+                TraceEvent::Span { ts, dur, tid, name } => format!(
+                    "{{\"ph\":\"X\",\"name\":{},\"cat\":\"fu\",\"pid\":1,\"tid\":{tid},\
+                     \"ts\":{ts},\"dur\":{dur}}}",
+                    json_string(name),
+                ),
+                TraceEvent::Instant { ts, tid, name } => format!(
+                    "{{\"ph\":\"i\",\"name\":{},\"cat\":\"pipe\",\"s\":\"t\",\"pid\":1,\
+                     \"tid\":{tid},\"ts\":{ts}}}",
+                    json_string(name),
+                ),
+                TraceEvent::Counter { ts, value } => format!(
+                    "{{\"ph\":\"C\",\"name\":\"window occupancy\",\"pid\":1,\"tid\":0,\
+                     \"ts\":{ts},\"args\":{{\"entries\":{value}}}}}"
+                ),
+            };
+            push(&mut out, rendered);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn fu_tid(fu: FuClass) -> u32 {
+    fu.index() as u32 + 1
+}
+
+/// Renders `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl PipelineObserver for ChromeTraceObserver {
+    fn dispatch(&mut self, cycle: u64, seq: u64, fu: FuClass, complete_at: u64) {
+        self.events.push(TraceEvent::Span {
+            ts: cycle,
+            dur: complete_at.saturating_sub(cycle).max(1),
+            tid: fu_tid(fu),
+            name: format!("#{seq} {fu}"),
+        });
+    }
+    fn commit(&mut self, cycle: u64, seq: u64) {
+        self.events.push(TraceEvent::Instant {
+            ts: cycle,
+            tid: TID_COMMIT,
+            name: format!("commit #{seq}"),
+        });
+    }
+    fn flush(&mut self, cycle: u64, squashed: u64) {
+        self.events.push(TraceEvent::Instant {
+            ts: cycle,
+            tid: TID_FLUSH,
+            name: format!("flush ({squashed} squashed)"),
+        });
+    }
+    fn stall(&mut self, cycle: u64, reason: StallReason) {
+        self.events.push(TraceEvent::Instant {
+            ts: cycle,
+            tid: TID_STALL,
+            name: reason.to_string(),
+        });
+    }
+    fn cycle_end(&mut self, cycle: u64, occupancy: u32) {
+        self.events.push(TraceEvent::Counter {
+            ts: cycle,
+            value: occupancy,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(obs: &mut dyn PipelineObserver) {
+        // Cycle 0: issue an instruction that occupies the scalar adder.
+        obs.fetch(0, 0);
+        obs.issue(0, 0);
+        obs.dispatch(0, 0, FuClass::ScalarAdd, 3);
+        obs.cycle_end(0, 1);
+        // Cycle 1: stall on the busy destination.
+        obs.stall(1, StallReason::OperandsNotReady);
+        obs.cycle_end(1, 1);
+        // Cycle 2: drain.
+        obs.complete(2, 0);
+        obs.commit(2, 0);
+        obs.stall(2, StallReason::Drained);
+        obs.cycle_end(2, 0);
+    }
+
+    #[test]
+    fn accountant_accepts_balanced_runs() {
+        let mut acc = CycleAccountant::default();
+        drive(&mut acc);
+        assert_eq!(acc.issue_cycles(), 1);
+        assert_eq!(acc.total_stalls(), 2);
+        assert!(acc.verify(3).is_ok());
+        assert!(acc.check(3).is_ok());
+    }
+
+    #[test]
+    fn accountant_reports_unattributed_cycles() {
+        let mut acc = CycleAccountant::default();
+        drive(&mut acc);
+        let v = acc.verify(4).expect_err("one cycle is unattributed");
+        assert_eq!(v.cycles, 4);
+        assert_eq!(v.issue_cycles + v.total_stalls(), 3);
+        assert!(v.to_string().contains("cycle accounting violated"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cycle accounting violated")]
+    fn accountant_check_panics_in_debug() {
+        let mut acc = CycleAccountant::default();
+        drive(&mut acc);
+        let _ = acc.check(4);
+    }
+
+    #[test]
+    fn histogram_collects_rows_and_occupancy() {
+        let mut h = StallHistogram::default();
+        drive(&mut h);
+        assert_eq!(h.issue_cycles(), 1);
+        assert_eq!(h.cycles(), 3);
+        assert_eq!(h.stalls(StallReason::Drained), 1);
+        assert_eq!(
+            h.rows(),
+            vec![
+                (StallReason::OperandsNotReady, 1),
+                (StallReason::Drained, 1)
+            ]
+        );
+        let mean = h.mean_occupancy().expect("nonzero cycles");
+        assert!((mean - 2.0 / 3.0).abs() < 1e-12);
+
+        let mut total = StallHistogram::default();
+        total.absorb(&h);
+        total.absorb(&h);
+        assert_eq!(total.cycles(), 6);
+        assert_eq!(total.total_stalls(), 4);
+    }
+
+    #[test]
+    fn tee_duplicates_events() {
+        let mut acc = CycleAccountant::default();
+        let mut hist = StallHistogram::default();
+        {
+            let mut tee = Tee::new(&mut acc, &mut hist);
+            drive(&mut tee);
+        }
+        assert!(acc.verify(3).is_ok());
+        assert_eq!(hist.total_stalls(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_is_sorted_and_balanced() {
+        let mut tr = ChromeTraceObserver::new();
+        drive(&mut tr);
+        assert!(!tr.is_empty());
+        let json = tr.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("window occupancy"));
+        // Timestamps are emitted in nondecreasing order.
+        let mut last = 0u64;
+        for part in json.split("\"ts\":").skip(1) {
+            let digits: String = part.chars().take_while(char::is_ascii_digit).collect();
+            let ts: u64 = digits.parse().expect("ts is an integer");
+            assert!(ts >= last, "timestamps must be sorted");
+            last = ts;
+        }
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("\n"), "\"\\u000a\"");
+    }
+}

@@ -50,7 +50,7 @@ impl StallReason {
         StallReason::Drained,
     ];
 
-    fn idx(self) -> usize {
+    pub(crate) fn idx(self) -> usize {
         match self {
             StallReason::OperandsNotReady => 0,
             StallReason::DestinationBusy => 1,
@@ -126,6 +126,17 @@ impl RunStats {
         self.occupancy_sum += u64::from(occ);
         self.occupancy_peak = self.occupancy_peak.max(occ);
     }
+
+    /// Mean window occupancy over a run of `cycles` cycles, or `None`
+    /// for an empty (zero-cycle) run.
+    #[must_use]
+    pub fn mean_occupancy(&self, cycles: u64) -> Option<f64> {
+        if cycles == 0 {
+            None
+        } else {
+            Some(self.occupancy_sum as f64 / cycles as f64)
+        }
+    }
 }
 
 impl fmt::Display for RunStats {
@@ -143,6 +154,15 @@ impl fmt::Display for RunStats {
             self.branches, self.taken_branches
         )?;
         writeln!(f, "forwarded loads  {:>10}", self.forwarded_loads)?;
+        let cycles = self.issue_cycles + self.total_stalls();
+        match self.mean_occupancy(cycles) {
+            Some(mean) => writeln!(
+                f,
+                "occupancy        {mean:>10.2} mean / {} peak",
+                self.occupancy_peak
+            )?,
+            None => writeln!(f, "occupancy        {:>10} (empty run)", "-")?,
+        }
         Ok(())
     }
 }
@@ -164,26 +184,49 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    /// Instructions per cycle — the paper's "instruction issue rate".
+    /// Instructions per cycle — the paper's "instruction issue rate" — or
+    /// `None` for an empty (zero-cycle) run.
+    #[must_use]
+    pub fn try_issue_rate(&self) -> Option<f64> {
+        if self.cycles == 0 {
+            None
+        } else {
+            Some(self.instructions as f64 / self.cycles as f64)
+        }
+    }
+
+    /// Instructions per cycle. Returns the NaN-free sentinel `0.0` for a
+    /// zero-cycle run; use [`RunResult::try_issue_rate`] to distinguish an
+    /// empty run from a genuinely zero rate.
     #[must_use]
     pub fn issue_rate(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.instructions as f64 / self.cycles as f64
-        }
+        self.try_issue_rate().unwrap_or(0.0)
     }
 
     /// Speedup of this run relative to a baseline cycle count for the same
     /// instruction stream (the paper's "relative speedup" against the
-    /// simple issue mechanism of Table 1).
+    /// simple issue mechanism of Table 1), or `None` for an empty run.
+    #[must_use]
+    pub fn try_speedup_vs(&self, baseline_cycles: u64) -> Option<f64> {
+        if self.cycles == 0 {
+            None
+        } else {
+            Some(baseline_cycles as f64 / self.cycles as f64)
+        }
+    }
+
+    /// Speedup relative to `baseline_cycles`. Returns the NaN-free
+    /// sentinel `0.0` for a zero-cycle run; use
+    /// [`RunResult::try_speedup_vs`] to distinguish that case.
     #[must_use]
     pub fn speedup_vs(&self, baseline_cycles: u64) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            baseline_cycles as f64 / self.cycles as f64
-        }
+        self.try_speedup_vs(baseline_cycles).unwrap_or(0.0)
+    }
+
+    /// Mean window occupancy over the run, or `None` for an empty run.
+    #[must_use]
+    pub fn mean_occupancy(&self) -> Option<f64> {
+        self.stats.mean_occupancy(self.cycles)
     }
 }
 
@@ -222,5 +265,41 @@ mod tests {
         };
         assert!((r.issue_rate() - 0.5).abs() < 1e-12);
         assert!((r.speedup_vs(400) - 2.0).abs() < 1e-12);
+        assert!((r.try_issue_rate().unwrap() - 0.5).abs() < 1e-12);
+        assert!((r.try_speedup_vs(400).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_runs_have_no_rates() {
+        let r = RunResult {
+            cycles: 0,
+            instructions: 0,
+            state: ArchState::new(),
+            memory: Memory::new(8),
+            stats: RunStats::default(),
+        };
+        assert_eq!(r.try_issue_rate(), None);
+        assert_eq!(r.try_speedup_vs(400), None);
+        assert_eq!(r.mean_occupancy(), None);
+        // The legacy helpers keep their documented NaN-free sentinel.
+        assert_eq!(r.issue_rate(), 0.0);
+        assert_eq!(r.speedup_vs(400), 0.0);
+    }
+
+    #[test]
+    fn occupancy_in_display_and_mean() {
+        let mut s = RunStats {
+            issue_cycles: 2,
+            ..RunStats::default()
+        };
+        s.stall(StallReason::Drained);
+        s.observe_occupancy(2);
+        s.observe_occupancy(4);
+        s.observe_occupancy(6);
+        assert_eq!(s.mean_occupancy(3), Some(4.0));
+        assert_eq!(s.mean_occupancy(0), None);
+        let shown = s.to_string();
+        assert!(shown.contains("occupancy"));
+        assert!(shown.contains("6 peak"));
     }
 }

@@ -4,6 +4,8 @@
 //! ruu-sim <mechanism> [workload] [--entries N] [--paths N] [--loadregs N]
 //! ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...
 //!               [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]
+//! ruu-sim trace --mechanism <name> --loop <LLL1..LLL14|file.s> --out FILE
+//!               [--entries N]
 //!
 //! mechanisms: simple | tomasulo | tagunit | rspool | rstu |
 //!             ruu | ruu-bypass | ruu-nobypass | ruu-limited |
@@ -15,14 +17,20 @@
 //! suite on the parallel `ruu-engine` (`--jobs 0` = one worker per
 //! hardware thread), printing paper-style speedup/issue-rate rows or,
 //! with `--json`, the engine's full [`ruu::engine::SweepReport`].
+//!
+//! The `trace` subcommand runs one workload with a
+//! [`ruu::sim::ChromeTraceObserver`] attached and writes Chrome
+//! `trace_event` JSON (open in `chrome://tracing` or Perfetto). A
+//! [`ruu::sim::CycleAccountant`] rides along; the command fails (nonzero
+//! exit) if the run violates `cycles == issue + Σ stalls`.
 
 use std::process::ExitCode;
 
 use ruu::engine::{Job, SweepEngine};
-use ruu::exec::Memory;
+use ruu::exec::{ArchState, Memory};
 use ruu::isa::text;
-use ruu::issue::{Bypass, Mechanism, PreciseScheme, Predictor, SpecRuu, TwoBit};
-use ruu::sim::MachineConfig;
+use ruu::issue::{Bypass, IssueSimulator, Mechanism, PreciseScheme, Predictor, SpecRuu, TwoBit};
+use ruu::sim::{ChromeTraceObserver, CycleAccountant, MachineConfig, Tee};
 use ruu::workloads::{livermore, Workload};
 
 struct Options {
@@ -120,7 +128,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: ruu-sim <simple|tomasulo|tagunit|rspool|rstu|ruu|ruu-bypass|ruu-nobypass|\n     ruu-limited|reorder|reorder-bypass|history|future|spec> [LLL1..LLL14|all|file.s]\n     [--entries N] [--paths N] [--loadregs N]\n   or: ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...\n     [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]"
+    "usage: ruu-sim <simple|tomasulo|tagunit|rspool|rstu|ruu|ruu-bypass|ruu-nobypass|\n     ruu-limited|reorder|reorder-bypass|history|future|spec> [LLL1..LLL14|all|file.s]\n     [--entries N] [--paths N] [--loadregs N]\n   or: ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...\n     [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]\n   or: ruu-sim trace --mechanism <name> --loop <LLL1..LLL14|file.s> --out FILE\n     [--entries N]"
         .to_string()
 }
 
@@ -266,12 +274,83 @@ fn run_sweep(mut args: std::env::Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs one workload under one mechanism with a Chrome-trace observer and
+/// a cycle accountant attached, writing the trace JSON to `--out`.
+fn run_trace(mut args: std::env::Args) -> Result<(), String> {
+    let mut mechanism: Option<String> = None;
+    let mut sel: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut entries: usize = 15;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mechanism" => mechanism = Some(args.next().ok_or("--mechanism needs a name")?),
+            "--loop" => sel = Some(args.next().ok_or("--loop needs a workload name")?),
+            "--out" => out = Some(args.next().ok_or("--out needs a file path")?),
+            "--entries" => {
+                entries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--entries needs a number")?;
+            }
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    let name = mechanism.ok_or_else(|| format!("trace needs --mechanism\n{}", usage()))?;
+    let sel = sel.ok_or_else(|| format!("trace needs --loop\n{}", usage()))?;
+    let path = out.ok_or_else(|| format!("trace needs --out\n{}", usage()))?;
+    let suite = workloads(&sel)?;
+    let [w] = suite.as_slice() else {
+        return Err("trace wants exactly one workload (e.g. --loop LLL3)".to_string());
+    };
+
+    let cfg = MachineConfig::paper();
+    let sim: Box<dyn IssueSimulator> = match mechanism_by_name(&name, entries)? {
+        Some(m) => m.build(&cfg),
+        None => Box::new(SpecRuu::new(cfg.clone(), entries, Bypass::Full)),
+    };
+
+    let mut trace = ChromeTraceObserver::default();
+    let mut acct = CycleAccountant::default();
+    let mut tee = Tee::new(&mut trace, &mut acct);
+    let r = sim
+        .run_observed(
+            ArchState::new(),
+            w.memory.clone(),
+            &w.program,
+            w.inst_limit,
+            &mut tee,
+        )
+        .map_err(|e| format!("{}: {e}", w.name))?;
+    w.verify(&r.memory)
+        .map_err(|e| format!("{}: {e}", w.name))?;
+
+    std::fs::write(&path, trace.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "trace: {name} on {}: {} instructions in {} cycles -> {path}",
+        w.name, r.instructions, r.cycles
+    );
+    acct.verify(r.cycles).map_err(|v| v.to_string())?;
+    println!(
+        "accounting ok: {} issue + {} stall cycles = {} cycles",
+        acct.issue_cycles(),
+        acct.total_stalls(),
+        r.cycles
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     if std::env::args().nth(1).as_deref() == Some("sweep") {
         let mut args = std::env::args();
         args.next(); // program name
         args.next(); // "sweep"
         return run_sweep(args);
+    }
+    if std::env::args().nth(1).as_deref() == Some("trace") {
+        let mut args = std::env::args();
+        args.next(); // program name
+        args.next(); // "trace"
+        return run_trace(args);
     }
     let opts = parse_args()?;
     let cfg = MachineConfig::paper()

@@ -1,0 +1,305 @@
+//! The cycle-accounting invariant, enforced end to end: for every issue
+//! mechanism, over every Livermore loop and over random synthetic
+//! programs,
+//!
+//! ```text
+//! cycles == issue_cycles + Σ stall_cycles
+//! ```
+//!
+//! with exactly one `cycle_end` observation per simulated cycle — and
+//! attaching an observer never changes the simulated numbers. Also the
+//! golden check that the Chrome-trace observer emits valid,
+//! monotonically-timestamped `trace_event` JSON.
+
+use proptest::prelude::*;
+
+use ruu::exec::ArchState;
+use ruu::issue::{Bypass, IssueSimulator, Mechanism, PreciseScheme, SpecRuu};
+use ruu::sim::{ChromeTraceObserver, CycleAccountant, MachineConfig, Tee};
+use ruu::workloads::livermore;
+use ruu::workloads::synth::{random_program, SynthConfig};
+
+const LIMIT: u64 = 1_000_000;
+
+/// One representative of each of the six simulator families.
+fn all_simulators(cfg: &MachineConfig, entries: usize) -> Vec<(String, Box<dyn IssueSimulator>)> {
+    let mechanisms = [
+        Mechanism::Simple,
+        Mechanism::Tomasulo {
+            rs_per_fu: entries / 4 + 1,
+        },
+        Mechanism::Rstu { entries },
+        Mechanism::Ruu {
+            entries,
+            bypass: Bypass::Full,
+        },
+        Mechanism::InOrderPrecise {
+            scheme: PreciseScheme::ReorderBuffer,
+            entries,
+        },
+        Mechanism::InOrderPrecise {
+            scheme: PreciseScheme::FutureFile,
+            entries,
+        },
+    ];
+    let mut sims: Vec<(String, Box<dyn IssueSimulator>)> = mechanisms
+        .into_iter()
+        .map(|m| (m.to_string(), m.build(cfg)))
+        .collect();
+    sims.push((
+        "spec-ruu".to_string(),
+        Box::new(SpecRuu::new(cfg.clone(), entries, Bypass::Full)),
+    ));
+    sims
+}
+
+#[test]
+fn identity_holds_for_every_mechanism_on_every_livermore_loop() {
+    let cfg = MachineConfig::paper();
+    for w in livermore::all() {
+        for (name, sim) in all_simulators(&cfg, 15) {
+            let mut acct = CycleAccountant::default();
+            let r = sim
+                .run_observed(
+                    ArchState::new(),
+                    w.memory.clone(),
+                    &w.program,
+                    w.inst_limit,
+                    &mut acct,
+                )
+                .unwrap_or_else(|e| panic!("{name} failed on {}: {e}", w.name));
+            w.verify(&r.memory)
+                .unwrap_or_else(|e| panic!("{name} wrong result on {}: {e}", w.name));
+            acct.verify(r.cycles)
+                .unwrap_or_else(|v| panic!("{name} on {}: {v}", w.name));
+        }
+    }
+}
+
+#[test]
+fn observation_does_not_change_the_simulation() {
+    let cfg = MachineConfig::paper();
+    let w = livermore::by_name("LLL3").expect("LLL3 exists");
+    for (name, sim) in all_simulators(&cfg, 12) {
+        let plain = sim
+            .run_from(ArchState::new(), w.memory.clone(), &w.program, w.inst_limit)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut acct = CycleAccountant::default();
+        let observed = sim
+            .run_observed(
+                ArchState::new(),
+                w.memory.clone(),
+                &w.program,
+                w.inst_limit,
+                &mut acct,
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(plain.cycles, observed.cycles, "{name} cycles");
+        assert_eq!(plain.instructions, observed.instructions, "{name} insts");
+        assert_eq!(plain.state, observed.state, "{name} state");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn identity_holds_on_random_programs(
+        seed in 0u64..10_000,
+        entries in 2usize..20,
+        loadregs in 1usize..7,
+        mem_ops in proptest::bool::ANY,
+    ) {
+        let synth = SynthConfig {
+            segments: 3,
+            block_len: 8,
+            max_trips: 6,
+            mem_ops,
+            hot_addresses: false,
+        };
+        let (program, mem) = random_program(seed, &synth);
+        let cfg = MachineConfig::paper().with_load_registers(loadregs);
+        for (name, sim) in all_simulators(&cfg, entries) {
+            let mut acct = CycleAccountant::default();
+            let r = sim
+                .run_observed(ArchState::new(), mem.clone(), &program, LIMIT, &mut acct)
+                .unwrap_or_else(|e| panic!("{name} failed on seed {seed}: {e}"));
+            let v = acct.verify(r.cycles);
+            prop_assert!(v.is_ok(), "{} on seed {}: {}", name, seed, v.unwrap_err());
+        }
+    }
+}
+
+// ---- Chrome trace golden checks ---------------------------------------
+
+/// Minimal JSON scanner: accepts exactly the grammar of RFC 8259 values
+/// (no escapes beyond the writer's repertoire required). Returns the rest
+/// of the input after one complete value.
+fn skip_json_value(s: &str) -> Result<&str, String> {
+    let s = s.trim_start();
+    let mut chars = s.char_indices();
+    let Some((_, c)) = chars.next() else {
+        return Err("unexpected end of input".to_string());
+    };
+    match c {
+        '{' => skip_json_container(&s[1..], '}', true),
+        '[' => skip_json_container(&s[1..], ']', false),
+        '"' => skip_json_string(s),
+        't' => s.strip_prefix("true").ok_or("bad literal".to_string()),
+        'f' => s.strip_prefix("false").ok_or("bad literal".to_string()),
+        'n' => s.strip_prefix("null").ok_or("bad literal".to_string()),
+        '-' | '0'..='9' => {
+            let end = s
+                .find(|c: char| !matches!(c, '-' | '+' | '.' | 'e' | 'E' | '0'..='9'))
+                .unwrap_or(s.len());
+            Ok(&s[end..])
+        }
+        other => Err(format!("unexpected character {other:?}")),
+    }
+}
+
+fn skip_json_string(s: &str) -> Result<&str, String> {
+    let mut it = s[1..].char_indices();
+    while let Some((i, c)) = it.next() {
+        match c {
+            '\\' => {
+                it.next();
+            }
+            '"' => return Ok(&s[1 + i + 1..]),
+            _ => {}
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn skip_json_container(mut s: &str, close: char, keyed: bool) -> Result<&str, String> {
+    s = s.trim_start();
+    if let Some(rest) = s.strip_prefix(close) {
+        return Ok(rest);
+    }
+    loop {
+        if keyed {
+            s = s.trim_start();
+            if !s.starts_with('"') {
+                return Err("object key must be a string".to_string());
+            }
+            s = skip_json_string(s)?.trim_start();
+            s = s.strip_prefix(':').ok_or("missing ':'".to_string())?;
+        }
+        s = skip_json_value(s)?.trim_start();
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest;
+        } else {
+            return s
+                .strip_prefix(close)
+                .ok_or(format!("missing {close:?} or ','"));
+        }
+    }
+}
+
+fn assert_valid_json(json: &str) {
+    let rest = skip_json_value(json).unwrap_or_else(|e| panic!("invalid JSON: {e}"));
+    assert!(rest.trim().is_empty(), "trailing garbage after JSON value");
+}
+
+#[test]
+fn chrome_trace_is_valid_and_monotonically_timestamped() {
+    let cfg = MachineConfig::paper();
+    let w = livermore::by_name("LLL5").expect("LLL5 exists");
+    let sim = Mechanism::Ruu {
+        entries: 15,
+        bypass: Bypass::Full,
+    }
+    .build(&cfg);
+    let mut trace = ChromeTraceObserver::default();
+    let mut acct = CycleAccountant::default();
+    let mut tee = Tee::new(&mut trace, &mut acct);
+    let r = sim
+        .run_observed(
+            ArchState::new(),
+            w.memory.clone(),
+            &w.program,
+            w.inst_limit,
+            &mut tee,
+        )
+        .expect("run completes");
+    acct.verify(r.cycles).expect("accounting holds");
+
+    let json = trace.to_json();
+    assert_valid_json(&json);
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"window occupancy\""));
+
+    // Timestamps must be nondecreasing in emission order, and at least
+    // one per event kind must be present.
+    let mut last_ts = 0u64;
+    let mut count = 0usize;
+    for chunk in json.split("\"ts\":").skip(1) {
+        let end = chunk
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(chunk.len());
+        let ts: u64 = chunk[..end].parse().expect("ts is an integer");
+        assert!(ts >= last_ts, "timestamps regress: {ts} after {last_ts}");
+        last_ts = ts;
+        count += 1;
+    }
+    assert!(count > 100, "trace has real volume, got {count} events");
+    for kind in [
+        "\"ph\":\"X\"",
+        "\"ph\":\"i\"",
+        "\"ph\":\"C\"",
+        "\"ph\":\"M\"",
+    ] {
+        assert!(json.contains(kind), "missing event kind {kind}");
+    }
+}
+
+#[test]
+fn spec_trace_records_flushes() {
+    // The speculative RUU on a mispredicting workload must emit flush
+    // instants on its dedicated track.
+    let cfg = MachineConfig::paper();
+    let w = livermore::by_name("LLL5").expect("LLL5 exists");
+    let sim: Box<dyn IssueSimulator> = Box::new(SpecRuu::new(cfg, 15, Bypass::Full));
+    let mut trace = ChromeTraceObserver::default();
+    let r = sim
+        .run_observed(
+            ArchState::new(),
+            w.memory.clone(),
+            &w.program,
+            w.inst_limit,
+            &mut trace,
+        )
+        .expect("run completes");
+    assert!(r.cycles > 0);
+    let json = trace.to_json();
+    assert_valid_json(&json);
+    assert!(json.contains("\"flush\""), "speculative run shows no flush");
+}
+
+#[test]
+fn memory_state_is_identical_under_observation() {
+    // Drive one synthetic memory-heavy program through every simulator
+    // both ways; the architectural memory image must not notice the
+    // observer.
+    let synth = SynthConfig {
+        segments: 4,
+        block_len: 10,
+        max_trips: 5,
+        mem_ops: true,
+        hot_addresses: true,
+    };
+    let (program, mem) = random_program(7, &synth);
+    let cfg = MachineConfig::paper();
+    for (name, sim) in all_simulators(&cfg, 10) {
+        let plain = sim
+            .run_from(ArchState::new(), mem.clone(), &program, LIMIT)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut hist = ruu::sim::StallHistogram::default();
+        let observed = sim
+            .run_observed(ArchState::new(), mem.clone(), &program, LIMIT, &mut hist)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(plain.memory, observed.memory, "{name} memory");
+        assert_eq!(hist.cycles(), observed.cycles, "{name} cycle_end count");
+    }
+}
