@@ -1,0 +1,228 @@
+//! Control-flow graph construction over a [`Program`].
+//!
+//! Basic blocks are maximal straight-line runs of instructions: a leader
+//! starts at pc 0, at every branch target, and immediately after every
+//! branch or `Halt`. Successor edges follow the [`ruu_isa::Inst`]
+//! conventions (`target` is `Some` exactly for branches; conditional
+//! branches also fall through). Reachability is computed from block 0 so
+//! lints can flag dead code and restrict dataflow to executable paths.
+
+use ruu_isa::Program;
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Block id (index into [`Cfg::blocks`]).
+    pub id: usize,
+    /// First instruction pc (inclusive).
+    pub start: u32,
+    /// One past the last instruction pc (exclusive); always `> start`.
+    pub end: u32,
+    /// Successor block ids, in (branch target, fallthrough) order.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids, ascending.
+    pub preds: Vec<usize>,
+    /// `true` if execution can leave this block by running past the last
+    /// program instruction (no `Halt`, no unconditional branch).
+    pub falls_off_end: bool,
+    /// `true` if the block is reachable from the program entry.
+    pub reachable: bool,
+}
+
+impl BasicBlock {
+    /// Iterator over the pcs of this block's instructions.
+    pub fn pcs(&self) -> impl Iterator<Item = u32> {
+        self.start..self.end
+    }
+}
+
+/// A control-flow graph: basic blocks plus a pc → block index.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    /// `block_of[pc]` = id of the block containing `pc`.
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    ///
+    /// An empty program yields an empty CFG (no blocks).
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let n = program.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+            };
+        }
+        // Leaders: entry, branch targets, instruction after a branch/Halt.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, inst) in program.iter().enumerate() {
+            if let Some(t) = inst.target {
+                leader[t as usize] = true;
+                if pc + 1 < n {
+                    leader[pc + 1] = true;
+                }
+            } else if inst.is_halt() && pc + 1 < n {
+                leader[pc + 1] = true;
+            }
+        }
+        // Carve blocks.
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for pc in 0..n {
+            block_of[pc] = blocks.len();
+            let last = pc + 1 == n || leader[pc + 1];
+            if last {
+                blocks.push(BasicBlock {
+                    id: blocks.len(),
+                    start: start as u32,
+                    end: (pc + 1) as u32,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                    falls_off_end: false,
+                    reachable: false,
+                });
+                start = pc + 1;
+            }
+        }
+        // Successor edges from each block's terminator.
+        for block in &mut blocks {
+            let tail = block.end as usize - 1;
+            let inst = program.get(tail as u32).expect("pc in range");
+            let mut succs = Vec::new();
+            let mut falls_off = false;
+            if let Some(t) = inst.target {
+                succs.push(block_of[t as usize]);
+                if inst.opcode.is_cond_branch() {
+                    if tail + 1 < n {
+                        succs.push(block_of[tail + 1]);
+                    } else {
+                        falls_off = true;
+                    }
+                }
+            } else if !inst.is_halt() {
+                if tail + 1 < n {
+                    succs.push(block_of[tail + 1]);
+                } else {
+                    falls_off = true;
+                }
+            }
+            block.falls_off_end = falls_off;
+            block.succs = succs;
+        }
+        // Predecessors + reachability (DFS from block 0).
+        for b in 0..blocks.len() {
+            for s in blocks[b].succs.clone() {
+                if !blocks[s].preds.contains(&b) {
+                    blocks[s].preds.push(b);
+                }
+            }
+        }
+        for b in &mut blocks {
+            b.preds.sort_unstable();
+        }
+        let mut stack = vec![0usize];
+        while let Some(b) = stack.pop() {
+            if blocks[b].reachable {
+                continue;
+            }
+            blocks[b].reachable = true;
+            stack.extend(blocks[b].succs.iter().copied());
+        }
+        Cfg { blocks, block_of }
+    }
+
+    /// All basic blocks, in program order.
+    #[must_use]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block containing `pc`.
+    ///
+    /// # Panics
+    /// Panics if `pc` is out of program range.
+    #[must_use]
+    pub fn block_of(&self, pc: u32) -> &BasicBlock {
+        &self.blocks[self.block_of[pc as usize]]
+    }
+
+    /// `true` if the instruction at `pc` is on some path from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, pc: u32) -> bool {
+        self.block_of(pc).reachable
+    }
+
+    /// Blocks that execution can exit the program from: a reachable block
+    /// ending in `Halt` or falling past the last instruction.
+    pub fn exit_blocks(&self) -> impl Iterator<Item = &BasicBlock> {
+        self.blocks
+            .iter()
+            .filter(|b| b.reachable && (b.succs.is_empty() || b.falls_off_end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruu_isa::{Asm, Reg};
+
+    fn counted_loop() -> Program {
+        let mut a = Asm::new("t");
+        let top = a.new_label();
+        a.a_imm(Reg::a(0), 3);
+        a.bind(top);
+        a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+        a.br_an(top);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn loop_blocks_and_edges() {
+        let cfg = Cfg::build(&counted_loop());
+        // [a_imm] [sub; br] [halt]
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(cfg.blocks()[0].succs, vec![1]);
+        assert_eq!(cfg.blocks()[1].succs, vec![1, 2]);
+        assert!(cfg.blocks()[2].succs.is_empty());
+        assert!(cfg.blocks().iter().all(|b| b.reachable));
+        assert_eq!(cfg.blocks()[1].preds, vec![0, 1]);
+        assert_eq!(cfg.exit_blocks().count(), 1);
+    }
+
+    #[test]
+    fn code_after_halt_is_unreachable() {
+        let mut a = Asm::new("t");
+        a.halt();
+        a.nop();
+        let cfg = Cfg::build(&a.assemble().unwrap());
+        assert_eq!(cfg.blocks().len(), 2);
+        assert!(cfg.blocks()[0].reachable);
+        assert!(!cfg.blocks()[1].reachable);
+        assert!(!cfg.is_reachable(1));
+    }
+
+    #[test]
+    fn missing_halt_falls_off_end() {
+        let mut a = Asm::new("t");
+        a.nop();
+        a.nop();
+        let cfg = Cfg::build(&a.assemble().unwrap());
+        let last = cfg.blocks().last().unwrap();
+        assert!(last.falls_off_end);
+        assert_eq!(cfg.exit_blocks().count(), 1);
+    }
+
+    #[test]
+    fn empty_program_is_empty_cfg() {
+        let p = Program::from_parts("empty", Vec::new());
+        let cfg = Cfg::build(&p);
+        assert!(cfg.blocks().is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Static memory-footprint analysis: abstract interpretation of the A
+//! (address) registers over an interval domain, checking every load/store
+//! `base + displacement` range against the data-memory size.
+//!
+//! The domain tracks one interval per A register; everything else
+//! (values loaded from memory, transfers from S/B, products that may
+//! wrap) collapses to `Top`. Joins take the interval hull and widen to
+//! `Top` after a bounded number of fixpoint passes, so loop-carried
+//! induction pointers become `Top` (and are *not* reported) while
+//! constant-addressed accesses — the prologue/epilogue traffic where
+//! hand-compiled displacement bugs live — are checked exactly.
+//! [`ruu_exec::Memory`] masks addresses instead of trapping, so an
+//! out-of-range access silently wraps onto unrelated data: always a bug
+//! in a workload.
+
+use ruu_isa::{Opcode, Program, Reg, RegFile};
+
+use crate::cfg::Cfg;
+
+/// Number of round-robin fixpoint passes before joins widen to `Top`.
+const WIDEN_AFTER: usize = 4;
+
+/// An abstract A-register value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interval {
+    /// Unknown (any `u64`).
+    Top,
+    /// All values in `lo..=hi` (within `u64` range; `lo <= hi`).
+    Range(i128, i128),
+}
+
+impl Interval {
+    /// The constant `v`.
+    #[must_use]
+    pub fn constant(v: i128) -> Self {
+        Interval::Range(v, v)
+    }
+
+    /// Normalizes a candidate range: any bound outside the `u64` value
+    /// range means the wrapping semantics may apply, so the result is
+    /// unknown.
+    fn norm(lo: i128, hi: i128) -> Self {
+        if lo < 0 || hi > i128::from(u64::MAX) {
+            Interval::Top
+        } else {
+            Interval::Range(lo, hi)
+        }
+    }
+
+    fn add(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Interval::Range(a, b), Interval::Range(c, d)) => Interval::norm(a + c, b + d),
+            _ => Interval::Top,
+        }
+    }
+
+    fn sub(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Interval::Range(a, b), Interval::Range(c, d)) => Interval::norm(a - d, b - c),
+            _ => Interval::Top,
+        }
+    }
+
+    fn mul(self, other: Interval) -> Interval {
+        match (self, other) {
+            (Interval::Range(a, b), Interval::Range(c, d)) => {
+                let products = [a * c, a * d, b * c, b * d];
+                let lo = products.iter().copied().min().expect("nonempty");
+                let hi = products.iter().copied().max().expect("nonempty");
+                Interval::norm(lo, hi)
+            }
+            _ => Interval::Top,
+        }
+    }
+
+    /// Interval hull; widens straight to `Top` when `widen` is set and
+    /// the hull would grow.
+    fn join(self, other: Interval, widen: bool) -> Interval {
+        match (self, other) {
+            (Interval::Range(a, b), Interval::Range(c, d)) => {
+                let hull = Interval::Range(a.min(c), b.max(d));
+                if widen && hull != self {
+                    Interval::Top
+                } else {
+                    hull
+                }
+            }
+            _ => Interval::Top,
+        }
+    }
+}
+
+/// How a statically-bounded effective-address range relates to the
+/// data-memory size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessVerdict {
+    /// Every address the access can produce is out of range.
+    DefinitelyOut,
+    /// The range is bounded and some (not all) addresses are out of range.
+    PossiblyOut,
+}
+
+/// A load/store whose statically-known address range escapes memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintFinding {
+    /// Pc of the memory instruction.
+    pub pc: u32,
+    /// Smallest effective address the access can produce.
+    pub lo: i128,
+    /// Largest effective address the access can produce.
+    pub hi: i128,
+    /// Whether the whole range or only part of it is out of bounds.
+    pub verdict: AccessVerdict,
+}
+
+/// Abstract state: one interval per A register.
+type AState = [Interval; 8];
+
+fn transfer(inst: &ruu_isa::Inst, state: &mut AState) {
+    let Some(d) = inst.dst else { return };
+    if d.file() != RegFile::A {
+        return;
+    }
+    let get = |state: &AState, r: Option<Reg>| -> Interval {
+        match r {
+            Some(r) if r.file() == RegFile::A => state[r.num() as usize],
+            _ => Interval::Top,
+        }
+    };
+    let v = match inst.opcode {
+        Opcode::AImm => Interval::norm(i128::from(inst.imm), i128::from(inst.imm)),
+        Opcode::AAdd => get(state, inst.src1).add(get(state, inst.src2)),
+        Opcode::ASub => get(state, inst.src1).sub(get(state, inst.src2)),
+        Opcode::AMul => get(state, inst.src1).mul(get(state, inst.src2)),
+        Opcode::AAddImm => get(state, inst.src1).add(Interval::constant(i128::from(inst.imm))),
+        Opcode::ASubImm => get(state, inst.src1).sub(Interval::constant(i128::from(inst.imm))),
+        // popcount/leading-zeros of a 64-bit word.
+        Opcode::SPop | Opcode::SLz => Interval::Range(0, 64),
+        // Loads, transfers from S/B: unknown.
+        _ => Interval::Top,
+    };
+    state[d.num() as usize] = v;
+}
+
+/// Runs the footprint analysis over the reachable region and reports
+/// every memory access whose bounded address range escapes
+/// `memory_words`. `Top` base registers produce no findings.
+#[must_use]
+pub fn footprint(program: &Program, cfg: &Cfg, memory_words: u64) -> Vec<FootprintFinding> {
+    let nb = cfg.blocks().len();
+    if nb == 0 {
+        return Vec::new();
+    }
+    // Registers are architecturally zeroed at program start.
+    let entry: AState = [Interval::constant(0); 8];
+    let bottom: AState = [Interval::Range(1, 0); 8]; // unvisited marker
+    let mut in_state: Vec<Option<AState>> = vec![None; nb];
+    in_state[0] = Some(entry);
+    // Terminates: once widening kicks in every join that still grows goes
+    // straight to `Top`, which is final, so at most one more change per
+    // (block, register) slot remains.
+    let mut pass = 0usize;
+    loop {
+        let widen = pass >= WIDEN_AFTER;
+        pass += 1;
+        let mut changed = false;
+        for b in cfg.blocks() {
+            if !b.reachable {
+                continue;
+            }
+            let Some(mut state) = in_state[b.id] else {
+                continue;
+            };
+            for pc in b.pcs() {
+                transfer(program.get(pc).expect("pc in range"), &mut state);
+            }
+            for &s in &b.succs {
+                let joined = match in_state[s] {
+                    None => state,
+                    Some(prev) => {
+                        let mut j = bottom;
+                        for (i, slot) in j.iter_mut().enumerate() {
+                            *slot = prev[i].join(state[i], widen);
+                        }
+                        j
+                    }
+                };
+                if in_state[s] != Some(joined) {
+                    in_state[s] = Some(joined);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let words = i128::from(memory_words);
+    let mut findings = Vec::new();
+    for b in cfg.blocks() {
+        if !b.reachable {
+            continue;
+        }
+        let Some(mut state) = in_state[b.id] else {
+            continue;
+        };
+        for pc in b.pcs() {
+            let inst = program.get(pc).expect("pc in range");
+            if inst.is_mem() {
+                let base = match inst.src1 {
+                    Some(r) if r.file() == RegFile::A => state[r.num() as usize],
+                    _ => Interval::Top,
+                };
+                // Raw mathematical range of base + displacement: a value
+                // outside [0, words) wraps onto unrelated data, which is
+                // exactly what this lint reports, so no u64 normalization
+                // here.
+                if let Interval::Range(b_lo, b_hi) = base {
+                    let (lo, hi) = (b_lo + i128::from(inst.imm), b_hi + i128::from(inst.imm));
+                    let verdict = if hi < 0 || lo >= words {
+                        Some(AccessVerdict::DefinitelyOut)
+                    } else if lo < 0 || hi >= words {
+                        Some(AccessVerdict::PossiblyOut)
+                    } else {
+                        None
+                    };
+                    if let Some(verdict) = verdict {
+                        findings.push(FootprintFinding {
+                            pc,
+                            lo,
+                            hi,
+                            verdict,
+                        });
+                    }
+                }
+            }
+            transfer(inst, &mut state);
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruu_isa::Asm;
+
+    #[test]
+    fn constant_oob_store_is_definite() {
+        let mut a = Asm::new("t");
+        a.a_imm(Reg::a(1), 100);
+        a.st_s(Reg::s(1), Reg::a(1), 30); // ea = 130, memory = 64 words
+        a.halt();
+        let p = a.assemble().unwrap();
+        let f = footprint(&p, &Cfg::build(&p), 64);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].verdict, AccessVerdict::DefinitelyOut);
+        assert_eq!((f[0].lo, f[0].hi), (130, 130));
+    }
+
+    #[test]
+    fn in_bounds_access_is_clean_and_loop_pointer_goes_top() {
+        let mut a = Asm::new("t");
+        let top = a.new_label();
+        a.a_imm(Reg::a(0), 4);
+        a.a_imm(Reg::a(1), 8);
+        a.bind(top);
+        a.ld_s(Reg::s(1), Reg::a(1), 0);
+        a.a_add_imm(Reg::a(1), Reg::a(1), 1); // unbounded by intervals
+        a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+        a.br_an(top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        // The induction pointer widens to Top, so no (false) findings.
+        assert!(footprint(&p, &Cfg::build(&p), 64).is_empty());
+    }
+
+    #[test]
+    fn negative_displacement_from_zero_base_is_flagged() {
+        let mut a = Asm::new("t");
+        a.ld_s(Reg::s(1), Reg::a(1), -5); // A1 is architecturally 0
+        a.halt();
+        let p = a.assemble().unwrap();
+        let f = footprint(&p, &Cfg::build(&p), 64);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].verdict, AccessVerdict::DefinitelyOut);
+        assert_eq!(f[0].lo, -5);
+    }
+
+    #[test]
+    fn interval_arithmetic_edges() {
+        let c = Interval::constant;
+        assert_eq!(c(3).add(c(4)), c(7));
+        assert_eq!(c(3).sub(c(4)), Interval::Top); // would wrap below 0
+        assert_eq!(
+            Interval::Range(2, 3).mul(Interval::Range(4, 5)),
+            Interval::Range(8, 15)
+        );
+        assert_eq!(c(1).join(c(5), false), Interval::Range(1, 5));
+        assert_eq!(c(1).join(c(5), true), Interval::Top);
+        assert_eq!(c(1).join(c(1), true), c(1));
+    }
+}

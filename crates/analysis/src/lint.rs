@@ -1,0 +1,426 @@
+//! The lint driver: typed diagnostics over the CFG, dataflow and
+//! footprint analyses, plus the waiver mechanism workloads use to
+//! acknowledge intentional findings inline.
+
+use std::fmt;
+
+use ruu_isa::Program;
+
+use crate::cfg::Cfg;
+use crate::dataflow::{self, RegSet};
+use crate::footprint::{self, AccessVerdict};
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong.
+    Warning,
+    /// Almost certainly a bug (bad control flow, provable out-of-bounds).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The catalog of lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// A register is read on some path before any instruction writes it.
+    /// Registers are architecturally zeroed, so this is well-defined but
+    /// usually means a missing initialization.
+    UninitRead,
+    /// A write that is overwritten on every path before any read.
+    DeadWrite,
+    /// A write whose value is still current at program exit but never
+    /// read: computed and then discarded.
+    UnreadAtHalt,
+    /// Instructions not reachable from the program entry.
+    UnreachableCode,
+    /// Execution can run past the last instruction (no `Halt` on some
+    /// path) — the interpreter traps with `PcOutOfRange`.
+    FallthroughEnd,
+    /// An unconditional jump to its own pc: guaranteed livelock.
+    InfiniteSelfLoop,
+    /// No reachable `Halt` anywhere: the program cannot terminate
+    /// normally.
+    MissingHalt,
+    /// A load/store whose statically-bounded address range escapes the
+    /// data memory; the memory wraps addresses instead of trapping, so
+    /// the access lands on unrelated data.
+    OobAccess,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LintKind::UninitRead => "uninit-read",
+            LintKind::DeadWrite => "dead-write",
+            LintKind::UnreadAtHalt => "unread-at-halt",
+            LintKind::UnreachableCode => "unreachable-code",
+            LintKind::FallthroughEnd => "fallthrough-end",
+            LintKind::InfiniteSelfLoop => "infinite-self-loop",
+            LintKind::MissingHalt => "missing-halt",
+            LintKind::OobAccess => "oob-access",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub kind: LintKind,
+    /// How severe it is.
+    pub severity: Severity,
+    /// The pc the finding is anchored to (`None` for whole-program
+    /// findings such as [`LintKind::MissingHalt`]).
+    pub pc: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(
+                f,
+                "{}[{}] at pc {pc}: {}",
+                self.severity, self.kind, self.message
+            ),
+            None => write!(f, "{}[{}]: {}", self.severity, self.kind, self.message),
+        }
+    }
+}
+
+/// An inline acknowledgement that a specific finding is intentional.
+///
+/// Waivers live next to the code they waive (e.g. in a Livermore kernel
+/// builder) and must carry a reason; [`apply_waivers`] drops matching
+/// findings and reports waivers that matched nothing (a stale waiver is
+/// itself suspicious).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiver {
+    /// The lint being waived.
+    pub kind: LintKind,
+    /// The pc of the waived finding (`None` waives a whole-program
+    /// finding of this kind).
+    pub pc: Option<u32>,
+    /// Why the finding is intentional.
+    pub reason: &'static str,
+}
+
+impl Waiver {
+    /// A waiver for a pc-anchored finding.
+    #[must_use]
+    pub fn at(kind: LintKind, pc: u32, reason: &'static str) -> Self {
+        Waiver {
+            kind,
+            pc: Some(pc),
+            reason,
+        }
+    }
+
+    /// `true` if this waiver covers `finding`.
+    #[must_use]
+    pub fn matches(&self, finding: &Finding) -> bool {
+        self.kind == finding.kind && self.pc == finding.pc
+    }
+}
+
+/// Knobs for [`lint`].
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Registers to treat as initialized at entry (e.g. a harness preset
+    /// that fills load registers before the kernel runs).
+    pub assume_initialized: RegSet,
+    /// Data-memory size in words for the footprint check; `None` skips
+    /// the out-of-bounds analysis.
+    pub memory_words: Option<u64>,
+}
+
+impl LintOptions {
+    /// Options matching how workloads actually run: no registers
+    /// pre-initialized, footprint checked against `memory_words`.
+    #[must_use]
+    pub fn for_memory(memory_words: u64) -> Self {
+        LintOptions {
+            assume_initialized: RegSet::EMPTY,
+            memory_words: Some(memory_words),
+        }
+    }
+}
+
+/// Runs every lint over `program` and returns the findings in pc order
+/// (whole-program findings last).
+#[must_use]
+pub fn lint(program: &Program, opts: &LintOptions) -> Vec<Finding> {
+    let cfg = Cfg::build(program);
+    let mut findings = Vec::new();
+
+    // ---- branch-shape lints (CFG only) -------------------------------
+    for b in cfg.blocks() {
+        if !b.reachable {
+            findings.push(Finding {
+                kind: LintKind::UnreachableCode,
+                severity: Severity::Warning,
+                pc: Some(b.start),
+                message: format!(
+                    "instructions {}..{} are unreachable from the entry",
+                    b.start,
+                    b.end - 1
+                ),
+            });
+            continue;
+        }
+        if b.falls_off_end {
+            findings.push(Finding {
+                kind: LintKind::FallthroughEnd,
+                severity: Severity::Error,
+                pc: Some(b.end - 1),
+                message: "execution can run past the last instruction (missing halt on this path)"
+                    .to_string(),
+            });
+        }
+        let tail = b.end - 1;
+        let inst = program.get(tail).expect("pc in range");
+        if inst.opcode == ruu_isa::Opcode::Jump && inst.target == Some(tail) {
+            findings.push(Finding {
+                kind: LintKind::InfiniteSelfLoop,
+                severity: Severity::Error,
+                pc: Some(tail),
+                message: "unconditional jump to itself never terminates".to_string(),
+            });
+        }
+    }
+    let has_reachable_halt = cfg.blocks().iter().any(|b| {
+        b.reachable
+            && b.pcs()
+                .any(|pc| program.get(pc).expect("pc in range").is_halt())
+    });
+    if !program.is_empty() && !has_reachable_halt {
+        findings.push(Finding {
+            kind: LintKind::MissingHalt,
+            severity: Severity::Warning,
+            pc: None,
+            message: "no reachable halt: the program cannot terminate normally".to_string(),
+        });
+    }
+
+    // ---- dataflow lints ----------------------------------------------
+    for u in dataflow::uninit_reads(program, &cfg, &opts.assume_initialized) {
+        let inst = program.get(u.pc).expect("pc in range");
+        findings.push(Finding {
+            kind: LintKind::UninitRead,
+            severity: Severity::Warning,
+            pc: Some(u.pc),
+            message: format!(
+                "`{inst}` reads {} before any write (architecturally zero)",
+                u.reg
+            ),
+        });
+    }
+    let du = dataflow::def_use(program, &cfg);
+    for b in cfg.blocks().iter().filter(|b| b.reachable) {
+        for pc in b.pcs() {
+            let inst = program.get(pc).expect("pc in range");
+            let Some(d) = inst.dst else { continue };
+            if du.used[pc as usize] {
+                continue;
+            }
+            if du.at_exit[pc as usize] {
+                findings.push(Finding {
+                    kind: LintKind::UnreadAtHalt,
+                    severity: Severity::Warning,
+                    pc: Some(pc),
+                    message: format!("`{inst}` computes {d} but nothing reads it before halt"),
+                });
+            } else {
+                findings.push(Finding {
+                    kind: LintKind::DeadWrite,
+                    severity: Severity::Warning,
+                    pc: Some(pc),
+                    message: format!("`{inst}` writes {d}, which is overwritten before any read"),
+                });
+            }
+        }
+    }
+
+    // ---- memory footprint --------------------------------------------
+    if let Some(words) = opts.memory_words {
+        for f in footprint::footprint(program, &cfg, words) {
+            let inst = program.get(f.pc).expect("pc in range");
+            let (severity, what) = match f.verdict {
+                AccessVerdict::DefinitelyOut => (Severity::Error, "is entirely outside"),
+                AccessVerdict::PossiblyOut => (Severity::Warning, "can escape"),
+            };
+            findings.push(Finding {
+                kind: LintKind::OobAccess,
+                severity,
+                pc: Some(f.pc),
+                message: format!(
+                    "`{inst}` address range [{}, {}] {what} memory of {words} words",
+                    f.lo, f.hi
+                ),
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| (f.pc.is_none(), f.pc, f.kind as u32));
+    findings
+}
+
+/// Drops findings covered by `waivers`. Returns the surviving findings
+/// plus the indices of waivers that matched nothing (stale waivers).
+#[must_use]
+pub fn apply_waivers(findings: Vec<Finding>, waivers: &[Waiver]) -> (Vec<Finding>, Vec<usize>) {
+    let mut matched = vec![false; waivers.len()];
+    let remaining: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| {
+            let mut waived = false;
+            for (i, w) in waivers.iter().enumerate() {
+                if w.matches(f) {
+                    matched[i] = true;
+                    waived = true;
+                }
+            }
+            !waived
+        })
+        .collect();
+    let stale = matched
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &m)| (!m).then_some(i))
+        .collect();
+    (remaining, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruu_isa::{Asm, Reg};
+
+    fn lint_default(a: Asm) -> Vec<Finding> {
+        lint(&a.assemble().unwrap(), &LintOptions::for_memory(1 << 8))
+    }
+
+    fn kinds(findings: &[Finding]) -> Vec<LintKind> {
+        findings.iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn clean_loop_has_no_findings() {
+        let mut a = Asm::new("clean");
+        let top = a.new_label();
+        a.a_imm(Reg::a(0), 4);
+        a.a_imm(Reg::a(1), 8);
+        a.bind(top);
+        a.ld_s(Reg::s(1), Reg::a(1), 0);
+        a.st_s(Reg::s(1), Reg::a(1), 32);
+        a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+        a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+        a.br_an(top);
+        a.halt();
+        assert_eq!(lint_default(a), Vec::new());
+    }
+
+    #[test]
+    fn uninit_read_and_dead_write_fire() {
+        let mut a = Asm::new("t");
+        a.s_add(Reg::s(1), Reg::s(2), Reg::s(2)); // uninit S2; S1 dead
+        a.s_imm(Reg::s(1), 7); // unread at halt
+        a.halt();
+        let f = lint_default(a);
+        assert_eq!(
+            kinds(&f),
+            vec![
+                LintKind::UninitRead,
+                LintKind::DeadWrite,
+                LintKind::UnreadAtHalt
+            ]
+        );
+        assert!(f.iter().all(|x| x.severity == Severity::Warning));
+        assert!(f[0].to_string().contains("S2"));
+    }
+
+    #[test]
+    fn control_flow_errors_fire() {
+        let mut a = Asm::new("t");
+        let own = a.new_label();
+        a.bind(own);
+        a.jump(own); // self-loop
+        a.nop(); // unreachable, and the nop path falls off the end
+        let f = lint_default(a);
+        assert!(kinds(&f).contains(&LintKind::InfiniteSelfLoop));
+        assert!(kinds(&f).contains(&LintKind::UnreachableCode));
+        assert!(kinds(&f).contains(&LintKind::MissingHalt));
+        assert!(f
+            .iter()
+            .any(|x| x.kind == LintKind::InfiniteSelfLoop && x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn fallthrough_end_is_an_error() {
+        let mut a = Asm::new("t");
+        a.a_imm(Reg::a(1), 1);
+        a.a_add_imm(Reg::a(1), Reg::a(1), 1);
+        let f = lint_default(a);
+        assert!(f
+            .iter()
+            .any(|x| x.kind == LintKind::FallthroughEnd && x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn oob_store_is_reported_with_range() {
+        let mut a = Asm::new("t");
+        a.a_imm(Reg::a(1), 300);
+        a.st_s(Reg::s(1), Reg::a(1), 0);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let f = lint(
+            &p,
+            &LintOptions {
+                assume_initialized: [Reg::s(1)].into_iter().collect(),
+                memory_words: Some(256),
+            },
+        );
+        assert_eq!(kinds(&f), vec![LintKind::OobAccess]);
+        assert_eq!(f[0].severity, Severity::Error);
+        assert!(f[0].message.contains("[300, 300]"));
+    }
+
+    #[test]
+    fn waivers_drop_findings_and_report_stale_ones() {
+        let mut a = Asm::new("t");
+        a.s_imm(Reg::s(1), 7); // unread at halt
+        a.halt();
+        let p = a.assemble().unwrap();
+        let findings = lint(&p, &LintOptions::default());
+        assert_eq!(findings.len(), 1);
+        let waivers = [
+            Waiver::at(LintKind::UnreadAtHalt, 0, "test waiver"),
+            Waiver::at(LintKind::DeadWrite, 9, "matches nothing"),
+        ];
+        let (rest, stale) = apply_waivers(findings, &waivers);
+        assert!(rest.is_empty());
+        assert_eq!(stale, vec![1]);
+    }
+
+    #[test]
+    fn findings_display_severity_kind_and_pc() {
+        let f = Finding {
+            kind: LintKind::DeadWrite,
+            severity: Severity::Warning,
+            pc: Some(3),
+            message: "m".to_string(),
+        };
+        assert_eq!(f.to_string(), "warning[dead-write] at pc 3: m");
+    }
+}

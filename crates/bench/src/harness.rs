@@ -18,7 +18,7 @@ use std::fmt;
 use std::sync::OnceLock;
 
 use ruu_engine::{EngineError, EngineStats, Job, SweepEngine};
-use ruu_exec::ArchState;
+use ruu_exec::{ArchState, ExecError};
 use ruu_issue::{Mechanism, SimError};
 use ruu_sim_core::{MachineConfig, StallHistogram};
 use ruu_workloads::{livermore, VerifyError};
@@ -45,6 +45,14 @@ pub enum HarnessError {
         /// The underlying verification error.
         err: VerifyError,
     },
+    /// The golden interpreter failed while capturing the trace the
+    /// dataflow-limit bound is derived from.
+    Golden {
+        /// Workload the failure occurred on.
+        workload: &'static str,
+        /// The underlying interpreter error.
+        err: ExecError,
+    },
 }
 
 impl fmt::Display for HarnessError {
@@ -60,6 +68,9 @@ impl fmt::Display for HarnessError {
                 workload,
                 err,
             } => write!(f, "{mechanism} wrong result on {workload}: {err}"),
+            HarnessError::Golden { workload, err } => {
+                write!(f, "golden trace for {workload} failed: {err}")
+            }
         }
     }
 }
@@ -79,6 +90,7 @@ impl From<EngineError> for HarnessError {
                 workload,
                 err,
             },
+            EngineError::Golden { workload, err } => HarnessError::Golden { workload, err },
         }
     }
 }
@@ -105,6 +117,9 @@ pub struct BaselineRow {
     pub instructions: u64,
     /// Clock cycles to execute.
     pub cycles: u64,
+    /// Static dataflow-limit lower bound on cycles
+    /// (`ruu_analysis::dataflow_bound` over the golden trace).
+    pub dataflow_bound: u64,
 }
 
 impl BaselineRow {
@@ -124,6 +139,18 @@ impl BaselineRow {
     #[must_use]
     pub fn issue_rate(&self) -> f64 {
         self.try_issue_rate().unwrap_or(0.0)
+    }
+
+    /// Percentage of the dataflow limit this run achieved
+    /// (`100 * dataflow_bound / cycles`), or `None` for a zero-cycle
+    /// row. 100% means the machine ran at the dependence-imposed limit.
+    #[must_use]
+    pub fn pct_of_limit(&self) -> Option<f64> {
+        if self.cycles == 0 {
+            None
+        } else {
+            Some(100.0 * self.dataflow_bound as f64 / self.cycles as f64)
+        }
     }
 }
 
@@ -218,14 +245,17 @@ pub fn try_baseline_rows(config: &MachineConfig) -> Result<Vec<BaselineRow>, Har
             name: r.name,
             instructions: r.instructions,
             cycles: r.cycles,
+            dataflow_bound: r.dataflow_bound,
         })
         .collect();
     let total_i = rows.iter().map(|r| r.instructions).sum();
     let total_c = rows.iter().map(|r| r.cycles).sum();
+    let total_b = rows.iter().map(|r| r.dataflow_bound).sum();
     rows.push(BaselineRow {
         name: "Total",
         instructions: total_i,
         cycles: total_c,
+        dataflow_bound: total_b,
     });
     Ok(rows)
 }
@@ -374,6 +404,14 @@ mod tests {
         assert_eq!(rows[14].name, "Total");
         let sum: u64 = rows[..14].iter().map(|r| r.instructions).sum();
         assert_eq!(sum, rows[14].instructions);
+        // Every row respects the dataflow-limit sandwich:
+        // instructions <= bound <= cycles.
+        for r in &rows {
+            assert!(r.dataflow_bound >= r.instructions, "{}", r.name);
+            assert!(r.cycles >= r.dataflow_bound, "{}", r.name);
+            let pct = r.pct_of_limit().expect("nonzero cycles");
+            assert!(pct > 0.0 && pct <= 100.0, "{}: {pct}", r.name);
+        }
     }
 
     #[test]
@@ -410,9 +448,11 @@ mod tests {
             name: "empty",
             instructions: 0,
             cycles: 0,
+            dataflow_bound: 0,
         };
         assert_eq!(row.try_issue_rate(), None);
         assert_eq!(row.issue_rate(), 0.0); // documented sentinel, not NaN
+        assert_eq!(row.pct_of_limit(), None);
     }
 
     #[test]

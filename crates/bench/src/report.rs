@@ -13,22 +13,24 @@ pub fn format_table1(rows: &[BaselineRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "| Loop   | insts (ours) | cycles (ours) | rate (ours) | insts (paper) | cycles (paper) | rate (paper) |"
+        "| Loop   | insts (ours) | cycles (ours) | rate (ours) | dflow bound | % of limit | insts (paper) | cycles (paper) | rate (paper) |"
     );
     let _ = writeln!(
         out,
-        "|--------|-------------:|--------------:|------------:|--------------:|---------------:|-------------:|"
+        "|--------|-------------:|--------------:|------------:|------------:|-----------:|--------------:|---------------:|-------------:|"
     );
     for row in rows {
         let p = paper::TABLE1.iter().find(|(n, ..)| *n == row.name);
         let (pi, pc, pr) = p.map_or((0, 0, 0.0), |&(_, i, c, r)| (i, c, r));
         let _ = writeln!(
             out,
-            "| {:<6} | {:>12} | {:>13} | {:>11.3} | {:>13} | {:>14} | {:>12.3} |",
+            "| {:<6} | {:>12} | {:>13} | {:>11.3} | {:>11} | {:>9.1}% | {:>13} | {:>14} | {:>12.3} |",
             row.name,
             row.instructions,
             row.cycles,
             row.issue_rate(),
+            row.dataflow_bound,
+            row.pct_of_limit().unwrap_or(0.0),
             pi,
             pc,
             pr,
@@ -164,11 +166,14 @@ mod tests {
             name: "LLL1",
             instructions: 100,
             cycles: 250,
+            dataflow_bound: 125,
         }];
         let s = format_table1(&rows);
         assert!(s.contains("LLL1"));
         assert!(s.contains("7217")); // paper column
         assert!(s.contains("0.400")); // our rate
+        assert!(s.contains("% of limit"));
+        assert!(s.contains("50.0%")); // 125 / 250 of the dataflow limit
     }
 
     #[test]

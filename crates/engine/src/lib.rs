@@ -16,6 +16,10 @@
 //! * baseline (simple-issue) cycles are **memoized per configuration**
 //!   in a [`MachineConfig`]-keyed cache, so repeated sweeps over the
 //!   same machine never pay for the baseline twice;
+//! * per-workload **dataflow-limit lower bounds**
+//!   (`ruu_analysis::dataflow_bound` over each golden trace) are
+//!   memoized the same way, so every [`JobResult`] reports how close
+//!   the mechanism came to the best any issue logic could do;
 //! * results come back as a [`SweepReport`]: per-job cycles,
 //!   instructions, and speedup plus wall-clock and throughput engine
 //!   stats, serializable to JSON with a hand-rolled std-only writer.
@@ -56,7 +60,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ruu_exec::ArchState;
+use ruu_analysis::dataflow_bound;
+use ruu_exec::{ArchState, ExecError};
 use ruu_issue::{Mechanism, SimError};
 use ruu_sim_core::{MachineConfig, StallHistogram, StallReason};
 use ruu_workloads::{livermore, VerifyError, Workload};
@@ -86,6 +91,14 @@ pub enum EngineError {
         /// The underlying verification error.
         err: VerifyError,
     },
+    /// The golden interpreter failed while capturing the trace that the
+    /// dataflow-limit bound is computed from.
+    Golden {
+        /// Workload the failure occurred on.
+        workload: &'static str,
+        /// The underlying interpreter error.
+        err: ExecError,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -96,6 +109,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::Verify { job, workload, err } => {
                 write!(f, "job {job} wrong result on {workload}: {err}")
+            }
+            EngineError::Golden { workload, err } => {
+                write!(f, "golden trace for {workload} failed: {err}")
             }
         }
     }
@@ -153,6 +169,14 @@ pub struct JobResult {
     pub speedup: f64,
     /// Aggregate instructions per cycle.
     pub issue_rate: f64,
+    /// Total dataflow-limit lower bound over the suite: the fewest
+    /// cycles any issue mechanism could take under this configuration's
+    /// latencies, from `ruu_analysis::dataflow_bound` over each
+    /// workload's golden trace.
+    pub dataflow_bound: u64,
+    /// Fraction of the dataflow limit achieved
+    /// (`dataflow_bound / cycles`, in `(0, 1]`).
+    pub efficiency: f64,
     /// Decode/issue stall cycles over the suite: the nonzero
     /// [`StallReason`] counters, in `StallReason::ALL` order. Together
     /// with the issue cycles these account for every simulated cycle
@@ -224,6 +248,8 @@ impl SweepReport {
             w.key("baseline_cycles").u64(j.baseline_cycles);
             w.key("speedup").f64(j.speedup);
             w.key("issue_rate").f64(j.issue_rate);
+            w.key("dataflow_bound").u64(j.dataflow_bound);
+            w.key("efficiency").f64(j.efficiency);
             w.key("stalls").begin_object();
             for &(reason, n) in &j.stalls {
                 w.key(&reason.to_string()).u64(n);
@@ -247,6 +273,9 @@ pub struct WorkloadRow {
     pub cycles: u64,
     /// Dynamic instructions executed.
     pub instructions: u64,
+    /// Dataflow-limit lower bound on cycles under the run's
+    /// configuration (see `ruu_analysis::dataflow_bound`).
+    pub dataflow_bound: u64,
 }
 
 /// The parallel batch-simulation engine. See the crate docs.
@@ -255,6 +284,7 @@ pub struct SweepEngine {
     suite: Arc<[Workload]>,
     workers: usize,
     baseline_cache: Mutex<HashMap<MachineConfig, u64>>,
+    bound_cache: Mutex<HashMap<MachineConfig, Arc<Vec<u64>>>>,
 }
 
 impl SweepEngine {
@@ -266,6 +296,7 @@ impl SweepEngine {
             suite: suite.into(),
             workers: default_workers(),
             baseline_cache: Mutex::new(HashMap::new()),
+            bound_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -402,6 +433,62 @@ impl SweepEngine {
         Ok(n_units)
     }
 
+    /// Fills the dataflow-bound cache for every configuration in
+    /// `configs`. Bounds are static analysis over each workload's
+    /// golden trace, not simulation units, so fills are **not** counted
+    /// in [`EngineStats::units`].
+    fn ensure_bounds(&self, configs: &[&MachineConfig]) -> Result<(), EngineError> {
+        let missing: Vec<&MachineConfig> = {
+            let cache = self.bound_cache.lock().expect("bound cache lock");
+            let mut seen: Vec<&MachineConfig> = Vec::new();
+            for &c in configs {
+                if !cache.contains_key(c) && !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+            seen
+        };
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let per_cfg = self.suite.len();
+        let outs = self.run_pool(missing.len() * per_cfg, |i| {
+            let cfg = missing[i / per_cfg];
+            let w = &self.suite[i % per_cfg];
+            w.golden_trace()
+                .map(|t| dataflow_bound(&t, cfg).bound)
+                .map_err(|err| EngineError::Golden {
+                    workload: w.name,
+                    err,
+                })
+        });
+        let mut cache = self.bound_cache.lock().expect("bound cache lock");
+        for (ci, &cfg) in missing.iter().enumerate() {
+            let mut bounds = Vec::with_capacity(per_cfg);
+            for out in &outs[ci * per_cfg..(ci + 1) * per_cfg] {
+                bounds.push(*out.as_ref().map_err(Clone::clone)?);
+            }
+            cache.insert(cfg.clone(), Arc::new(bounds));
+        }
+        Ok(())
+    }
+
+    /// Per-workload dataflow-limit lower bounds (suite order) under
+    /// `config` — the fewest cycles *any* issue mechanism could take,
+    /// limited only by true RAW dependences and functional-unit
+    /// latencies. Memoized per configuration for the engine's lifetime.
+    ///
+    /// # Errors
+    /// Propagates a golden-interpreter failure as
+    /// [`EngineError::Golden`].
+    pub fn dataflow_bounds(&self, config: &MachineConfig) -> Result<Arc<Vec<u64>>, EngineError> {
+        self.ensure_bounds(&[config])?;
+        let cache = self.bound_cache.lock().expect("bound cache lock");
+        Ok(Arc::clone(
+            cache.get(config).expect("ensure_bounds filled this key"),
+        ))
+    }
+
     /// Total simple-issue cycles over the suite under `config` — the
     /// denominator of every paper-style speedup. Memoized per
     /// configuration for the engine's lifetime.
@@ -427,6 +514,7 @@ impl SweepEngine {
         let start = Instant::now();
         let configs: Vec<&MachineConfig> = jobs.iter().map(|j| &j.config).collect();
         let baseline_units = self.ensure_baselines(&configs)?;
+        self.ensure_bounds(&configs)?;
 
         let per_job = self.suite.len();
         let n_units = jobs.len() * per_job;
@@ -437,6 +525,7 @@ impl SweepEngine {
         });
 
         let cache = self.baseline_cache.lock().expect("baseline cache lock");
+        let bound_cache = self.bound_cache.lock().expect("bound cache lock");
         let mut results = Vec::with_capacity(jobs.len());
         for (ji, job) in jobs.iter().enumerate() {
             let mut cycles = 0u64;
@@ -451,6 +540,11 @@ impl SweepEngine {
             let baseline_cycles = *cache
                 .get(&job.config)
                 .expect("ensure_baselines covered every job config");
+            let dataflow_bound: u64 = bound_cache
+                .get(&job.config)
+                .expect("ensure_bounds covered every job config")
+                .iter()
+                .sum();
             results.push(JobResult {
                 label: job.label.clone(),
                 mechanism: job.mechanism.to_string(),
@@ -460,10 +554,13 @@ impl SweepEngine {
                 baseline_cycles,
                 speedup: baseline_cycles as f64 / cycles as f64,
                 issue_rate: instructions as f64 / cycles as f64,
+                dataflow_bound,
+                efficiency: dataflow_bound as f64 / cycles as f64,
                 stalls: stalls.rows(),
             });
         }
         drop(cache);
+        drop(bound_cache);
 
         let wall = start.elapsed();
         let units = n_units + baseline_units;
@@ -497,16 +594,19 @@ impl SweepEngine {
         config: &MachineConfig,
     ) -> Result<Vec<WorkloadRow>, EngineError> {
         let label = mechanism.to_string();
+        let bounds = self.dataflow_bounds(config)?;
         let outs = self.run_pool(self.suite.len(), |i| {
             let w = &self.suite[i];
             Self::run_unit(&label, mechanism, config, w).map(|(c, n, _)| (w.name, c, n))
         });
         outs.into_iter()
-            .map(|out| {
+            .zip(bounds.iter())
+            .map(|(out, &dataflow_bound)| {
                 out.map(|(name, cycles, instructions)| WorkloadRow {
                     name,
                     cycles,
                     instructions,
+                    dataflow_bound,
                 })
             })
             .collect()
@@ -558,6 +658,7 @@ mod tests {
                 memory,
                 checks,
                 inst_limit: 10_000,
+                lint_waivers: Vec::new(),
             });
         }
         suite
@@ -680,6 +781,8 @@ mod tests {
             "\"label\":",
             "\"cycles\":",
             "\"speedup\":",
+            "\"dataflow_bound\":",
+            "\"efficiency\":",
             "\"entries\":4",
             "\"stalls\":",
             "\"drained\":",
@@ -704,6 +807,42 @@ mod tests {
                 .baseline_cycles(&MachineConfig::paper())
                 .expect("baseline")
         );
+    }
+
+    #[test]
+    fn cycles_never_beat_the_dataflow_bound() {
+        let engine = SweepEngine::new(mini_suite()).with_workers(2);
+        let jobs = vec![
+            Job::new(Mechanism::Simple, MachineConfig::paper()),
+            ruu_job(8),
+        ];
+        let report = engine.run_grid(&jobs).expect("grid");
+        for j in &report.jobs {
+            assert!(
+                j.cycles >= j.dataflow_bound,
+                "{} beat the dataflow limit: {} < {}",
+                j.label,
+                j.cycles,
+                j.dataflow_bound
+            );
+            assert!(j.efficiency > 0.0 && j.efficiency <= 1.0, "{}", j.label);
+        }
+        // The bound is mechanism-independent, so the larger window can
+        // only close the gap, never widen it past the limit.
+        assert_eq!(report.jobs[0].dataflow_bound, report.jobs[1].dataflow_bound);
+
+        // Per-workload rows carry the same per-config bounds, and the
+        // bound is at least the dynamic instruction count (decode is
+        // one per cycle).
+        let rows = engine
+            .workload_rows(Mechanism::Simple, &MachineConfig::paper())
+            .expect("rows");
+        let total: u64 = rows.iter().map(|r| r.dataflow_bound).sum();
+        assert_eq!(total, report.jobs[0].dataflow_bound);
+        for r in &rows {
+            assert!(r.cycles >= r.dataflow_bound, "{}", r.name);
+            assert!(r.dataflow_bound >= r.instructions, "{}", r.name);
+        }
     }
 
     #[test]

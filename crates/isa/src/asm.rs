@@ -3,17 +3,23 @@
 //! [`Asm`] exposes one method per opcode; each method validates the operand
 //! register files (e.g. `a_add` insists on A registers) so that every
 //! assembled [`Program`] satisfies the [`Inst`] invariants. Labels are
-//! created with [`Asm::new_label`], placed with [`Asm::bind`], and resolved
-//! at [`Asm::assemble`] time.
+//! created with [`Asm::new_label`] (auto-named `L0`, `L1`, …) or
+//! [`Asm::named_label`], placed with [`Asm::bind`], and resolved at
+//! [`Asm::assemble`] time. All diagnostics — undefined labels, duplicate
+//! bindings, constants that overflow their encoding field — are reported
+//! from `assemble` as typed [`AsmError`]s carrying the label name and the
+//! offending instruction index.
 
 use std::fmt;
 
+use crate::encoding;
 use crate::inst::Inst;
 use crate::op::Opcode;
 use crate::program::Program;
 use crate::reg::{Reg, RegFile};
 
-/// A branch-target label, created by [`Asm::new_label`].
+/// A branch-target label, created by [`Asm::new_label`] or
+/// [`Asm::named_label`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Label(usize);
 
@@ -22,15 +28,27 @@ pub struct Label(usize);
 pub enum AsmError {
     /// A label used as a branch target was never bound with [`Asm::bind`].
     UnboundLabel {
-        /// The offending label's internal id.
-        label: usize,
-        /// Program counter of the branch that references it.
+        /// The offending label's name (`L7` if auto-named).
+        label: String,
+        /// Instruction index of the branch that references it.
         pc: usize,
     },
-    /// A label was bound twice.
+    /// A label was bound at two different program counters.
     ReboundLabel {
-        /// The offending label's internal id.
-        label: usize,
+        /// The offending label's name (`L7` if auto-named).
+        label: String,
+        /// Program counter of the first binding.
+        first: u32,
+        /// Program counter of the offending second binding.
+        second: u32,
+    },
+    /// An immediate, displacement or branch target does not fit in its
+    /// binary encoding field (see [`crate::encoding`]).
+    ImmOutOfRange {
+        /// Instruction index of the offending instruction.
+        pc: usize,
+        /// The constant that overflowed.
+        value: i64,
     },
 }
 
@@ -38,9 +56,20 @@ impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AsmError::UnboundLabel { label, pc } => {
-                write!(f, "label {label} used by branch at pc {pc} was never bound")
+                write!(f, "branch to undefined label '{label}' at inst {pc}")
             }
-            AsmError::ReboundLabel { label } => write!(f, "label {label} bound twice"),
+            AsmError::ReboundLabel {
+                label,
+                first,
+                second,
+            } => write!(
+                f,
+                "label '{label}' bound twice: at pc {first} and again at pc {second}"
+            ),
+            AsmError::ImmOutOfRange { pc, value } => write!(
+                f,
+                "constant {value} at inst {pc} does not fit its encoding field"
+            ),
         }
     }
 }
@@ -74,8 +103,13 @@ pub struct Asm {
     insts: Vec<Inst>,
     /// label id -> bound pc
     bound: Vec<Option<u32>>,
+    /// label id -> display name
+    label_names: Vec<String>,
     /// (pc of branch, label id) fixups
     fixups: Vec<(usize, usize)>,
+    /// Duplicate `bind` calls, reported as [`AsmError::ReboundLabel`]
+    /// at assemble time: (label id, pc of the rejected second binding).
+    rebinds: Vec<(usize, u32)>,
 }
 
 impl Asm {
@@ -86,7 +120,9 @@ impl Asm {
             name: name.into(),
             insts: Vec::new(),
             bound: Vec::new(),
+            label_names: Vec::new(),
             fixups: Vec::new(),
+            rebinds: Vec::new(),
         }
     }
 
@@ -96,24 +132,30 @@ impl Asm {
         self.insts.len() as u32
     }
 
-    /// Creates a fresh, unbound label.
+    /// Creates a fresh, unbound label auto-named `L0`, `L1`, ….
     pub fn new_label(&mut self) -> Label {
+        let name = format!("L{}", self.bound.len());
+        self.named_label(name)
+    }
+
+    /// Creates a fresh, unbound label with a display name that appears in
+    /// assemble-time diagnostics (e.g. `branch to undefined label 'loop2'
+    /// at inst 17`).
+    pub fn named_label(&mut self, name: impl Into<String>) -> Label {
         self.bound.push(None);
+        self.label_names.push(name.into());
         Label(self.bound.len() - 1)
     }
 
-    /// Binds `label` to the current program counter.
-    ///
-    /// # Panics
-    /// Panics if the label was already bound (programming error in the
-    /// kernel being assembled).
+    /// Binds `label` to the current program counter. Binding the same
+    /// label twice is reported as [`AsmError::ReboundLabel`] by
+    /// [`Asm::assemble`] (the first binding wins until then).
     pub fn bind(&mut self, label: Label) {
-        assert!(
-            self.bound[label.0].is_none(),
-            "label {} bound twice",
-            label.0
-        );
-        self.bound[label.0] = Some(self.here());
+        if self.bound[label.0].is_some() {
+            self.rebinds.push((label.0, self.here()));
+        } else {
+            self.bound[label.0] = Some(self.here());
+        }
     }
 
     fn push(&mut self, inst: Inst) -> &mut Self {
@@ -462,16 +504,43 @@ impl Asm {
         self.push(Inst::new(Opcode::Halt, None, None, None, 0, None))
     }
 
-    /// Resolves labels and produces the [`Program`].
+    /// Resolves labels, validates every constant against its binary
+    /// encoding field, and produces the [`Program`].
     ///
     /// # Errors
-    /// Returns [`AsmError::UnboundLabel`] if a branch references a label
-    /// that was never [`Asm::bind`]-ed.
+    /// * [`AsmError::ReboundLabel`] if a label was [`Asm::bind`]-ed at
+    ///   two different program counters;
+    /// * [`AsmError::UnboundLabel`] if a branch references a label that
+    ///   was never bound — the message names the label and the branch's
+    ///   instruction index;
+    /// * [`AsmError::ImmOutOfRange`] if an immediate, displacement or
+    ///   branch target overflows its [`crate::encoding`] field.
     pub fn assemble(mut self) -> Result<Program, AsmError> {
+        if let Some(&(label, second)) = self.rebinds.first() {
+            return Err(AsmError::ReboundLabel {
+                label: self.label_names[label].clone(),
+                first: self.bound[label].expect("rebound labels have a first binding"),
+                second,
+            });
+        }
         for &(pc, label) in &self.fixups {
             match self.bound[label] {
                 Some(target) => self.insts[pc].target = Some(target),
-                None => return Err(AsmError::UnboundLabel { label, pc }),
+                None => {
+                    return Err(AsmError::UnboundLabel {
+                        label: self.label_names[label].clone(),
+                        pc,
+                    })
+                }
+            }
+        }
+        // Reuse the binary encoder as the authority on field widths, so
+        // an oversized displacement fails here (with its instruction
+        // index) instead of surfacing later as an encode error.
+        for (pc, inst) in self.insts.iter().enumerate() {
+            if let Err(encoding::EncodeError::ImmOutOfRange { value }) = encoding::encode_inst(inst)
+            {
+                return Err(AsmError::ImmOutOfRange { pc, value });
             }
         }
         Ok(Program::from_parts(self.name, self.insts))
@@ -505,16 +574,78 @@ mod tests {
         a.jump(l);
         let err = a.assemble().unwrap_err();
         assert!(matches!(err, AsmError::UnboundLabel { pc: 0, .. }));
-        assert!(err.to_string().contains("never bound"));
+        assert_eq!(err.to_string(), "branch to undefined label 'L0' at inst 0");
     }
 
     #[test]
-    #[should_panic(expected = "bound twice")]
-    fn double_bind_panics() {
+    fn undefined_label_diagnostic_carries_name_and_pc() {
         let mut a = Asm::new("t");
-        let l = a.new_label();
+        let loop2 = a.named_label("loop2");
+        for _ in 0..17 {
+            a.nop();
+        }
+        a.br_an(loop2); // inst 17, label never bound
+        a.halt();
+        let err = a.assemble().unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::UnboundLabel {
+                label: "loop2".into(),
+                pc: 17
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "branch to undefined label 'loop2' at inst 17"
+        );
+    }
+
+    #[test]
+    fn double_bind_is_an_assemble_error() {
+        let mut a = Asm::new("t");
+        let l = a.named_label("top");
         a.bind(l);
+        a.nop();
         a.bind(l);
+        a.jump(l);
+        let err = a.assemble().unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::ReboundLabel {
+                label: "top".into(),
+                first: 0,
+                second: 1
+            }
+        );
+        assert!(err.to_string().contains("'top' bound twice"));
+    }
+
+    #[test]
+    fn out_of_range_displacement_is_an_assemble_error() {
+        // Load/store displacements are 16-bit fields; 1 << 20 overflows.
+        let mut a = Asm::new("t");
+        a.a_imm(Reg::a(1), 0);
+        a.ld_s(Reg::s(1), Reg::a(1), 1 << 20);
+        a.halt();
+        let err = a.assemble().unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::ImmOutOfRange {
+                pc: 1,
+                value: 1 << 20
+            }
+        );
+        assert!(err.to_string().contains("at inst 1"));
+    }
+
+    #[test]
+    fn out_of_range_immediate_is_an_assemble_error() {
+        // AImm immediates are 22-bit signed; 1 << 30 overflows.
+        let mut a = Asm::new("t");
+        a.a_imm(Reg::a(1), 1 << 30);
+        a.halt();
+        let err = a.assemble().unwrap_err();
+        assert!(matches!(err, AsmError::ImmOutOfRange { pc: 0, .. }));
     }
 
     #[test]

@@ -1024,7 +1024,10 @@ mod tests {
             let top = a.new_label();
             a.a_imm(Reg::a(0), 30);
             a.a_imm(Reg::a(1), 100);
-            a.s_imm(Reg::s(1), 4602678819172646912); // 0.5f64 bits
+            // Any nonzero bit pattern works: the chain's latency, not the
+            // value, is what the test measures (and it must fit the 22-bit
+            // SImm field, which `assemble` now checks).
+            a.s_imm(Reg::s(1), 1 << 20);
             a.bind(top);
             a.ld_s(Reg::s(2), Reg::a(1), 0);
             a.f_mul(Reg::s(3), Reg::s(2), Reg::s(1));

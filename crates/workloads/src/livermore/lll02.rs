@@ -106,6 +106,7 @@ pub fn build(n: u32) -> Workload {
         memory: mem,
         checks: checks_f64(X as u64, &x),
         inst_limit: 60 * u64::from(n) + 10_000,
+        lint_waivers: Vec::new(),
     }
 }
 

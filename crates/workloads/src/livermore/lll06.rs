@@ -77,6 +77,7 @@ pub fn build(n: u32) -> Workload {
         memory: mem,
         checks: checks_f64(W as u64, &w),
         inst_limit: 20 * u64::from(n) * u64::from(n) + 10_000,
+        lint_waivers: Vec::new(),
     }
 }
 

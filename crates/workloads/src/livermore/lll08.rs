@@ -158,6 +158,7 @@ pub fn build(n: u32) -> Workload {
         memory: mem,
         checks,
         inst_limit: 200 * u64::from(n) + 10_000,
+        lint_waivers: Vec::new(),
     }
 }
 

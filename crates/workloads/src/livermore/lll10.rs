@@ -85,6 +85,7 @@ pub fn build(n: u32) -> Workload {
         memory: mem,
         checks,
         inst_limit: 80 * u64::from(n) + 2_000,
+        lint_waivers: Vec::new(),
     }
 }
 

@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use ruu_analysis::Waiver;
 use ruu_exec::{ExecError, Memory, Trace};
 use ruu_isa::Program;
 
@@ -55,6 +56,10 @@ pub struct Workload {
     pub checks: Vec<(u64, u64)>,
     /// A generous dynamic-instruction bound for simulator runs.
     pub inst_limit: u64,
+    /// Inline acknowledgements of intentional `ruu-analysis` lint
+    /// findings, declared next to the kernel code they waive. A shipped
+    /// workload must be lint-clean modulo these.
+    pub lint_waivers: Vec<Waiver>,
 }
 
 impl Workload {

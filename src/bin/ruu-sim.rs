@@ -6,6 +6,9 @@
 //!               [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]
 //! ruu-sim trace --mechanism <name> --loop <LLL1..LLL14|file.s> --out FILE
 //!               [--entries N]
+//! ruu-sim lint [--all-loops | LLL1..LLL14 | file.s] [--deny-warnings]
+//! ruu-sim analyze [--all-loops | LLL1..LLL14 | file.s] [--mechanism <name>]
+//!                 [--entries N]
 //!
 //! mechanisms: simple | tomasulo | tagunit | rspool | rstu |
 //!             ruu | ruu-bypass | ruu-nobypass | ruu-limited |
@@ -23,9 +26,21 @@
 //! `trace_event` JSON (open in `chrome://tracing` or Perfetto). A
 //! [`ruu::sim::CycleAccountant`] rides along; the command fails (nonzero
 //! exit) if the run violates `cycles == issue + Σ stalls`.
+//!
+//! The `lint` subcommand runs the `ruu::analysis` static lints (CFG
+//! shape, uninitialized reads, dead writes, memory footprint) over the
+//! selected workloads, honouring each workload's inline waivers. Errors
+//! always exit nonzero; `--deny-warnings` makes warnings (and stale
+//! waivers) fatal too.
+//!
+//! The `analyze` subcommand prints the per-loop **dataflow-limit lower
+//! bound** (latency-weighted RAW critical path of the golden trace) next
+//! to the cycles a chosen mechanism actually achieves, and fails if any
+//! run beats the bound — that would be a simulator bug.
 
 use std::process::ExitCode;
 
+use ruu::analysis::{apply_waivers, dataflow_bound, lint, LintOptions, Severity};
 use ruu::engine::{Job, SweepEngine};
 use ruu::exec::{ArchState, Memory};
 use ruu::isa::text;
@@ -44,6 +59,11 @@ struct Options {
 /// Maps a CLI mechanism name (sized by `entries`) to a [`Mechanism`].
 /// `None` for the speculative machine, which is not a `Mechanism` variant.
 fn mechanism_by_name(name: &str, entries: usize) -> Result<Option<Mechanism>, String> {
+    // The simulator constructors assert on degenerate sizes; reject them
+    // here so the CLI exits with a message instead of panicking.
+    if entries == 0 {
+        return Err("--entries must be at least 1".to_string());
+    }
     let e = entries;
     let m = match name {
         "simple" => Some(Mechanism::Simple),
@@ -128,7 +148,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: ruu-sim <simple|tomasulo|tagunit|rspool|rstu|ruu|ruu-bypass|ruu-nobypass|\n     ruu-limited|reorder|reorder-bypass|history|future|spec> [LLL1..LLL14|all|file.s]\n     [--entries N] [--paths N] [--loadregs N]\n   or: ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...\n     [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]\n   or: ruu-sim trace --mechanism <name> --loop <LLL1..LLL14|file.s> --out FILE\n     [--entries N]"
+    "usage: ruu-sim <simple|tomasulo|tagunit|rspool|rstu|ruu|ruu-bypass|ruu-nobypass|\n     ruu-limited|reorder|reorder-bypass|history|future|spec> [LLL1..LLL14|all|file.s]\n     [--entries N] [--paths N] [--loadregs N]\n   or: ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...\n     [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]\n   or: ruu-sim trace --mechanism <name> --loop <LLL1..LLL14|file.s> --out FILE\n     [--entries N]\n   or: ruu-sim lint [--all-loops|LLL1..LLL14|file.s] [--deny-warnings]\n   or: ruu-sim analyze [--all-loops|LLL1..LLL14|file.s] [--mechanism <name>] [--entries N]"
         .to_string()
 }
 
@@ -150,6 +170,7 @@ fn workloads(sel: &str) -> Result<Vec<Workload>, String> {
             memory: Memory::new(1 << 16),
             checks: Vec::new(),
             inst_limit: 100_000_000,
+            lint_waivers: Vec::new(),
         }])
     } else {
         livermore::by_name(sel)
@@ -339,6 +360,155 @@ fn run_trace(mut args: std::env::Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Workload selection shared by `lint` and `analyze`: `--all-loops` or a
+/// positional workload name / `.s` file (default: all loops).
+fn select_workloads(
+    args: &mut std::env::Args,
+    flag: &mut impl FnMut(&str) -> Result<bool, String>,
+) -> Result<Vec<Workload>, String> {
+    let mut sel: Option<String> = None;
+    for arg in args.by_ref() {
+        match arg.as_str() {
+            "--all-loops" => sel = Some("all".to_string()),
+            other => {
+                if !flag(other)? {
+                    if other.starts_with('-') {
+                        return Err(format!("unknown option {other}\n{}", usage()));
+                    }
+                    sel = Some(other.to_string());
+                }
+            }
+        }
+    }
+    workloads(sel.as_deref().unwrap_or("all"))
+}
+
+/// Statically lints the selected workloads, honouring inline waivers.
+/// Errors are always fatal; `--deny-warnings` makes warnings fatal too.
+fn run_lint(mut args: std::env::Args) -> Result<(), String> {
+    let mut deny_warnings = false;
+    let suite = select_workloads(&mut args, &mut |arg| {
+        Ok(if arg == "--deny-warnings" {
+            deny_warnings = true;
+            true
+        } else {
+            false
+        })
+    })?;
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut waived = 0usize;
+    for w in &suite {
+        let opts = LintOptions::for_memory(w.memory.len() as u64);
+        let findings = lint(&w.program, &opts);
+        let total = findings.len();
+        let (rest, stale) = apply_waivers(findings, &w.lint_waivers);
+        waived += total - rest.len();
+        for f in &rest {
+            println!("{}: {f}", w.name);
+            match f.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+        }
+        for i in stale {
+            let wv = &w.lint_waivers[i];
+            println!(
+                "{}: warning[stale-waiver]: waiver for {} at pc {:?} matched no finding ({})",
+                w.name, wv.kind, wv.pc, wv.reason
+            );
+            warnings += 1;
+        }
+    }
+    println!(
+        "lint: {} workload(s), {errors} error(s), {warnings} warning(s), {waived} waived",
+        suite.len()
+    );
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        return Err(if deny_warnings {
+            "lint failed (--deny-warnings)".to_string()
+        } else {
+            "lint failed".to_string()
+        });
+    }
+    Ok(())
+}
+
+/// Prints the per-workload dataflow-limit bound next to the cycles one
+/// mechanism achieves; fails if any run beats the bound.
+fn run_analyze(mut args: std::env::Args) -> Result<(), String> {
+    let mut name = "ruu".to_string();
+    let mut entries: usize = 15;
+    let mut pending: Option<&str> = None;
+    let suite = select_workloads(&mut args, &mut |arg| {
+        match pending.take() {
+            Some("--mechanism") => {
+                name = arg.to_string();
+                return Ok(true);
+            }
+            Some("--entries") => {
+                entries = arg.parse().map_err(|_| "--entries needs a number")?;
+                return Ok(true);
+            }
+            _ => {}
+        }
+        Ok(match arg {
+            "--mechanism" => {
+                pending = Some("--mechanism");
+                true
+            }
+            "--entries" => {
+                pending = Some("--entries");
+                true
+            }
+            _ => false,
+        })
+    })?;
+    let cfg = MachineConfig::paper();
+    let mechanism = mechanism_by_name(&name, entries)?
+        .ok_or_else(|| "analyze does not support the speculative machine".to_string())?;
+
+    println!(
+        "| {:<8} | {:>12} | {:>10} | {:>10} | {:>10} | {:>10} |",
+        "loop", "instructions", "crit path", "bound", "cycles", "% of limit"
+    );
+    let mut violations = 0usize;
+    for w in &suite {
+        let trace = w.golden_trace().map_err(|e| format!("{}: {e}", w.name))?;
+        let b = dataflow_bound(&trace, &cfg);
+        let sim = mechanism.build(&cfg);
+        let r = sim
+            .run(&w.program, w.memory.clone(), w.inst_limit)
+            .map_err(|e| format!("{}: {e}", w.name))?;
+        w.verify(&r.memory)
+            .map_err(|e| format!("{}: {e}", w.name))?;
+        if r.cycles < b.bound {
+            violations += 1;
+        }
+        println!(
+            "| {:<8} | {:>12} | {:>10} | {:>10} | {:>10} | {:>9.1}% |",
+            w.name,
+            b.instructions,
+            b.critical_path,
+            b.bound,
+            r.cycles,
+            100.0 * b.efficiency(r.cycles).unwrap_or(0.0),
+        );
+    }
+    if violations > 0 {
+        return Err(format!(
+            "{violations} run(s) beat the dataflow bound — simulator bug (cycles >= dataflow_bound must hold)"
+        ));
+    }
+    println!(
+        "ok: cycles >= dataflow_bound for {} ({} workload(s))",
+        name,
+        suite.len()
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     if std::env::args().nth(1).as_deref() == Some("sweep") {
         let mut args = std::env::args();
@@ -351,6 +521,18 @@ fn run() -> Result<(), String> {
         args.next(); // program name
         args.next(); // "trace"
         return run_trace(args);
+    }
+    if std::env::args().nth(1).as_deref() == Some("lint") {
+        let mut args = std::env::args();
+        args.next(); // program name
+        args.next(); // "lint"
+        return run_lint(args);
+    }
+    if std::env::args().nth(1).as_deref() == Some("analyze") {
+        let mut args = std::env::args();
+        args.next(); // program name
+        args.next(); // "analyze"
+        return run_analyze(args);
     }
     let opts = parse_args()?;
     let cfg = MachineConfig::paper()

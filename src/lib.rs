@@ -12,8 +12,11 @@
 //! * [`precise`] — precise-interrupt machinery and the speculation
 //!   extension;
 //! * [`engine`] — the parallel batch-simulation engine for
-//!   (mechanism, config, workload) job grids.
+//!   (mechanism, config, workload) job grids;
+//! * [`analysis`] — static CFG/dataflow lints and the dataflow-limit
+//!   lower bound on cycles.
 
+pub use ruu_analysis as analysis;
 pub use ruu_engine as engine;
 pub use ruu_exec as exec;
 pub use ruu_isa as isa;

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use ruu::isa::{encoding, text};
+use ruu::isa::{encoding, text, Asm, Inst, Opcode, Reg};
 use ruu::workloads::livermore;
 use ruu::workloads::synth::{random_program, SynthConfig};
 
@@ -23,6 +23,59 @@ fn every_livermore_kernel_survives_binary_roundtrip() {
         let n = w.program.len();
         assert!((n..=2 * n).contains(&parcels.len()), "{}", w.name);
     }
+}
+
+#[test]
+fn backward_branch_to_address_zero_roundtrips() {
+    let mut a = Asm::new("back0");
+    let top = a.new_label();
+    a.bind(top); // pc 0
+    a.a_imm(Reg::a(0), 1);
+    a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+    a.br_an(top);
+    a.halt();
+    let p = a.assemble().unwrap();
+    assert_eq!(p[2].target, Some(0));
+    let parcels = encoding::encode_program(&p).unwrap();
+    let back = encoding::decode_program("back0", &parcels).unwrap();
+    assert_eq!(back[2].target, Some(0));
+    for (x, y) in p.iter().zip(back.iter()) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn branch_to_self_roundtrips() {
+    let mut a = Asm::new("selfloop");
+    a.a_imm(Reg::a(0), 0);
+    let here = a.new_label();
+    a.bind(here); // pc 1
+    a.br_an(here); // a conditional branch targeting its own pc
+    a.halt();
+    let p = a.assemble().unwrap();
+    assert_eq!(p[1].target, Some(1));
+    let parcels = encoding::encode_program(&p).unwrap();
+    let back = encoding::decode_program("selfloop", &parcels).unwrap();
+    assert_eq!(back[1].target, Some(1));
+}
+
+#[test]
+fn max_forward_branch_target_roundtrips() {
+    // Branch targets share the 22-bit signed jkm field, so the largest
+    // encodable instruction index is 2^21 - 1. One past it must fail to
+    // encode rather than wrap.
+    let max_target = (1u32 << 21) - 1;
+    let i = Inst::new(Opcode::Jump, None, None, None, 0, Some(max_target));
+    let parcels = encoding::encode_inst(&i).unwrap();
+    let (back, used) = encoding::decode_inst(&parcels).unwrap();
+    assert_eq!(used, 2);
+    assert_eq!(back.target, Some(max_target));
+
+    let too_far = Inst::new(Opcode::Jump, None, None, None, 0, Some(max_target + 1));
+    assert!(matches!(
+        encoding::encode_inst(&too_far),
+        Err(encoding::EncodeError::ImmOutOfRange { .. })
+    ));
 }
 
 #[test]
