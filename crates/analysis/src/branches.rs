@@ -1,0 +1,155 @@
+//! Static branch-site census over a program.
+//!
+//! The dynamic side of the branch-prediction subsystem (`ruu-predict`)
+//! reports per-site accuracy from a trace; this module is its static
+//! counterpart: every branch *site* in the program text, classified by
+//! kind and direction, with CFG reachability so dead sites are visible.
+//! The `ruu-sim lint --branch-sites` view uses it to sanity-check the
+//! dynamic per-site tables (a CBP replay can never report more distinct
+//! conditional sites than the census counts).
+
+use ruu_isa::Program;
+
+use crate::cfg::Cfg;
+
+/// One static branch instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchSite {
+    /// The branch's pc.
+    pub pc: u32,
+    /// Decoded target pc.
+    pub target: u32,
+    /// `true` for conditional branches, `false` for unconditional jumps.
+    pub conditional: bool,
+    /// `true` if the branch jumps backward (`target <= pc`) — the static
+    /// loop heuristic BTFN keys on.
+    pub backward: bool,
+    /// `true` if the CFG reaches this site from the program entry.
+    pub reachable: bool,
+}
+
+/// The static branch census of one program.
+#[derive(Debug, Clone, Default)]
+pub struct BranchCensus {
+    /// Every branch site, ascending pc.
+    pub sites: Vec<BranchSite>,
+}
+
+impl BranchCensus {
+    /// Conditional branch sites.
+    #[must_use]
+    pub fn conditional(&self) -> usize {
+        self.sites.iter().filter(|s| s.conditional).count()
+    }
+
+    /// Unconditional jump sites.
+    #[must_use]
+    pub fn unconditional(&self) -> usize {
+        self.sites.len() - self.conditional()
+    }
+
+    /// Backward (loop-shaped) branch sites.
+    #[must_use]
+    pub fn backward(&self) -> usize {
+        self.sites.iter().filter(|s| s.backward).count()
+    }
+
+    /// Sites the CFG cannot reach from the entry.
+    #[must_use]
+    pub fn unreachable(&self) -> usize {
+        self.sites.iter().filter(|s| !s.reachable).count()
+    }
+
+    /// Reachable conditional sites — the upper bound on distinct
+    /// conditional pcs any trace of this program can touch.
+    #[must_use]
+    pub fn reachable_conditional(&self) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| s.conditional && s.reachable)
+            .count()
+    }
+}
+
+/// Enumerates every branch site of `program`, with CFG reachability.
+#[must_use]
+pub fn branch_sites(program: &Program) -> BranchCensus {
+    let cfg = Cfg::build(program);
+    let sites = program
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, inst)| {
+            let target = inst.target?;
+            let pc = pc as u32;
+            Some(BranchSite {
+                pc,
+                target,
+                conditional: inst.opcode.is_cond_branch(),
+                backward: target <= pc,
+                reachable: cfg.is_reachable(pc),
+            })
+        })
+        .collect();
+    BranchCensus { sites }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruu_isa::{Asm, Reg};
+
+    #[test]
+    fn census_classifies_kinds_and_directions() {
+        let mut a = Asm::new("t");
+        let top = a.new_label();
+        let skip = a.new_label();
+        a.a_imm(Reg::a(0), 4);
+        a.bind(top);
+        a.br_az(skip); // forward conditional
+        a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+        a.bind(skip);
+        a.a_sub_imm(Reg::a(0), Reg::a(0), 1);
+        a.br_an(top); // backward conditional
+        a.jump(top); // backward unconditional (dead: br_an falls to halt)
+        a.halt();
+        let p = a.assemble().unwrap();
+        let c = branch_sites(&p);
+        assert_eq!(c.sites.len(), 3);
+        assert_eq!(c.conditional(), 2);
+        assert_eq!(c.unconditional(), 1);
+        assert_eq!(c.backward(), 2);
+        assert_eq!(c.reachable_conditional(), 2);
+        let fwd = c.sites.iter().find(|s| !s.backward).unwrap();
+        assert!(fwd.conditional && fwd.target > fwd.pc);
+    }
+
+    #[test]
+    fn unreachable_sites_are_flagged() {
+        let mut a = Asm::new("t");
+        let top = a.new_label();
+        let dead = a.new_label();
+        a.bind(top);
+        a.a_imm(Reg::a(0), 1);
+        a.halt();
+        a.bind(dead);
+        a.br_an(top); // after halt: never reached
+        let p = a.assemble().unwrap();
+        let c = branch_sites(&p);
+        assert_eq!(c.sites.len(), 1);
+        assert_eq!(c.unreachable(), 1);
+        assert_eq!(c.reachable_conditional(), 0);
+    }
+
+    #[test]
+    fn livermore_census_bounds_the_dynamic_site_count() {
+        for w in ruu_workloads::livermore::all() {
+            let c = branch_sites(&w.program);
+            assert!(c.conditional() > 0, "{} has a loop branch", w.name);
+            assert!(
+                c.backward() > 0,
+                "{} is loop-shaped, so some branch is backward",
+                w.name
+            );
+        }
+    }
+}

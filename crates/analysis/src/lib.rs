@@ -3,9 +3,12 @@
 //! Everything else in this workspace *executes* programs; this crate
 //! reasons about them statically (and, for the dataflow bound, over the
 //! golden interpreter's dynamic trace — still without touching a timing
-//! simulator). Four layers:
+//! simulator). Five layers:
 //!
 //! * [`cfg`] — basic blocks, branch edges, reachability;
+//! * [`branches`] — the static branch-site census ([`branch_sites`]):
+//!   every branch pc classified by kind/direction with reachability,
+//!   bounding the per-site tables of the dynamic CBP harness;
 //! * [`dataflow`] — register bitsets ([`RegSet`]), liveness,
 //!   may-uninitialized reads, reaching-definition def→use chains;
 //! * [`footprint`] — interval abstract interpretation of the A registers
@@ -22,12 +25,14 @@
 //! argument that the bound is a true lower bound.
 
 pub mod bound;
+pub mod branches;
 pub mod cfg;
 pub mod dataflow;
 pub mod footprint;
 pub mod lint;
 
 pub use bound::{dataflow_bound, DataflowBound};
+pub use branches::{branch_sites, BranchCensus, BranchSite};
 pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{def_use, liveness, uninit_reads, DefUse, Liveness, RegSet};
 pub use footprint::{footprint, AccessVerdict, FootprintFinding, Interval};

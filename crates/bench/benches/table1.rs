@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo bench -p ruu-bench --bench table1`.
 
-use ruu_bench::{baseline_rows, report, stall_breakdown};
+use ruu_bench::{baseline_rows, predictor_ablation, report, stall_breakdown};
 use ruu_issue::Mechanism;
 use ruu_sim_core::MachineConfig;
 
@@ -18,6 +18,15 @@ fn main() {
     print!(
         "{}",
         report::format_stall_table("Where the cycles go (simple issue)", &stalls)
+    );
+    println!();
+    let ablation = predictor_ablation(&cfg, 15);
+    print!(
+        "{}",
+        report::format_predictor_ablation(
+            "Predictor ablation — speculative RUU (15 entries), suite totals",
+            &ablation
+        )
     );
     println!();
     println!(

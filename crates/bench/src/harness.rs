@@ -392,6 +392,102 @@ pub fn sweep_serial(
         .collect()
 }
 
+/// One row of the speculative-RUU predictor-ablation table: the same
+/// machine, swept across the predictor zoo. `cbp_mispredicts` comes from
+/// the trace-driven CBP replay (every conditional branch, no pipeline);
+/// the remaining columns are the pipeline's own numbers, where only
+/// branches whose condition was still unresolved at issue consult the
+/// predictor.
+#[derive(Debug, Clone)]
+pub struct PredictorAblationRow {
+    /// Canonical predictor label (`NAME[:size]`).
+    pub predictor: String,
+    /// Total CBP-replay mispredictions over the 14 loops.
+    pub cbp_mispredicts: u64,
+    /// Pipeline predictions actually consulted.
+    pub predicts: u64,
+    /// Pipeline mispredictions (each one a flush).
+    pub mispredicts: u64,
+    /// Cycles spent in mispredict-repair stalls.
+    pub flush_cycles: u64,
+    /// Total cycles over the suite.
+    pub cycles: u64,
+    /// Total instructions over the suite.
+    pub instructions: u64,
+    /// Speedup over the simple-issue baseline.
+    pub speedup: f64,
+}
+
+/// Sweeps the speculative RUU (at `entries` window entries) across the
+/// whole predictor zoo.
+///
+/// # Errors
+/// Propagates simulator, verification, and golden-trace failures.
+pub fn try_predictor_ablation(
+    config: &MachineConfig,
+    entries: usize,
+) -> Result<Vec<PredictorAblationRow>, HarnessError> {
+    use ruu_predict::cbp::{evaluate, BranchStream};
+    use ruu_predict::PredictorConfig;
+
+    let zoo = PredictorConfig::zoo();
+    let jobs: Vec<Job> = zoo
+        .iter()
+        .map(|&predictor| {
+            Job::new(
+                Mechanism::SpecRuu {
+                    entries,
+                    bypass: ruu_issue::Bypass::Full,
+                    predictor,
+                },
+                config.clone(),
+            )
+        })
+        .collect();
+    let report = engine().run_grid(&jobs)?;
+
+    let mut streams = Vec::new();
+    for w in livermore::all() {
+        let trace = w.golden_trace().map_err(|err| HarnessError::Golden {
+            workload: w.name,
+            err,
+        })?;
+        streams.push(BranchStream::from_trace(&trace));
+    }
+
+    Ok(zoo
+        .iter()
+        .zip(&report.jobs)
+        .map(|(&p, j)| {
+            let cbp_mispredicts = streams
+                .iter()
+                .map(|s| {
+                    // Fresh predictor per loop, the CBP convention.
+                    let mut pred = p.build();
+                    evaluate(s, pred.as_mut()).mispredicts
+                })
+                .sum();
+            let b = j.branch.unwrap_or_default();
+            PredictorAblationRow {
+                predictor: p.to_string(),
+                cbp_mispredicts,
+                predicts: b.predicts,
+                mispredicts: b.mispredicts,
+                flush_cycles: b.flush_cycles,
+                cycles: j.cycles,
+                instructions: j.instructions,
+                speedup: j.speedup,
+            }
+        })
+        .collect())
+}
+
+/// Panicking shim over [`try_predictor_ablation`].
+#[must_use]
+pub fn predictor_ablation(config: &MachineConfig, entries: usize) -> Vec<PredictorAblationRow> {
+    try_predictor_ablation(config, entries).unwrap_or_else(|e| panic!("{e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +507,33 @@ mod tests {
             assert!(r.cycles >= r.dataflow_bound, "{}", r.name);
             let pct = r.pct_of_limit().expect("nonzero cycles");
             assert!(pct > 0.0 && pct <= 100.0, "{}: {pct}", r.name);
+        }
+    }
+
+    #[test]
+    fn predictor_ablation_reflects_cbp_wins_in_cycles() {
+        let cfg = MachineConfig::paper();
+        let rows = predictor_ablation(&cfg, 15);
+        assert_eq!(rows.len(), 7, "one row per zoo predictor");
+        let find = |name: &str| {
+            rows.iter()
+                .find(|r| r.predictor.starts_with(name))
+                .unwrap_or_else(|| panic!("{name} row exists"))
+        };
+        let twobit = find("twobit:64");
+        let tage = find("tage");
+        // The zoo's headline: TAGE-lite beats the calibrated default both
+        // in trace-replay mispredictions and in actual pipeline cycles.
+        assert!(tage.cbp_mispredicts < twobit.cbp_mispredicts);
+        assert!(tage.cycles < twobit.cycles);
+        for r in &rows {
+            assert!(r.predicts > 0, "{}: predictor consulted", r.predictor);
+            assert_eq!(
+                r.flush_cycles,
+                r.mispredicts * (cfg.mispredict_penalty + 1),
+                "{}: every flush charges penalty+1 repair cycles",
+                r.predictor
+            );
         }
     }
 

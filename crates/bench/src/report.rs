@@ -1,7 +1,7 @@
 //! Table formatting for the bench targets: measured values printed next
 //! to the paper's published numbers.
 
-use crate::harness::{BaselineRow, StallBreakdownRow, SweepPoint};
+use crate::harness::{BaselineRow, PredictorAblationRow, StallBreakdownRow, SweepPoint};
 use crate::paper;
 use ruu_sim_core::{StallHistogram, StallReason};
 
@@ -64,6 +64,38 @@ pub fn format_sweep(
             out,
             "| {:>7} | {:>14.3} | {:>11.3} | {:>15.3} | {:>12.3} |",
             p.entries, p.speedup, p.issue_rate, ps, pr,
+        );
+    }
+    out
+}
+
+/// Formats the speculative-RUU predictor-ablation table: CBP-replay
+/// mispredictions next to the pipeline's prediction counts, repair
+/// cycles, and the resulting cycles/speedup, one row per zoo predictor.
+#[must_use]
+pub fn format_predictor_ablation(title: &str, rows: &[PredictorAblationRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}");
+    let _ = writeln!(
+        out,
+        "| Predictor | CBP miss | predicts | mispredicts | repair cycles | cycles | speedup |"
+    );
+    let _ = writeln!(
+        out,
+        "|-----------|---------:|---------:|------------:|--------------:|-------:|--------:|"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {:<9} | {:>8} | {:>8} | {:>11} | {:>13} | {:>6} | {:>7.3} |",
+            r.predictor,
+            r.cbp_mispredicts,
+            r.predicts,
+            r.mispredicts,
+            r.flush_cycles,
+            r.cycles,
+            r.speedup,
         );
     }
     out

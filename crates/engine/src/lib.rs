@@ -150,6 +150,30 @@ impl Job {
     }
 }
 
+/// Branch-prediction totals for one speculative job over the suite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchSummary {
+    /// Conditional branches whose direction was predicted.
+    pub predicts: u64,
+    /// Predictions that resolved wrong and forced a squash.
+    pub mispredicts: u64,
+    /// Fetch cycles lost to misprediction repair
+    /// ([`StallReason::MispredictRepair`]).
+    pub flush_cycles: u64,
+}
+
+impl BranchSummary {
+    /// Mispredictions per 1000 instructions.
+    #[must_use]
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
 /// Aggregated results of one [`Job`] over the suite.
 #[derive(Debug, Clone)]
 pub struct JobResult {
@@ -183,6 +207,9 @@ pub struct JobResult {
     /// (`cycles == instructions + Σ stalls` for the non-speculative
     /// mechanisms the engine runs).
     pub stalls: Vec<(StallReason, u64)>,
+    /// Branch-prediction totals, for jobs whose mechanism speculates
+    /// (`None` for every non-speculative mechanism).
+    pub branch: Option<BranchSummary>,
 }
 
 impl JobResult {
@@ -255,6 +282,14 @@ impl SweepReport {
                 w.key(&reason.to_string()).u64(n);
             }
             w.end_object();
+            if let Some(b) = j.branch {
+                w.key("branch").begin_object();
+                w.key("predicts").u64(b.predicts);
+                w.key("mispredicts").u64(b.mispredicts);
+                w.key("mpki").f64(b.mpki(j.instructions));
+                w.key("flush_cycles").u64(b.flush_cycles);
+                w.end_object();
+            }
             w.end_object();
         }
         w.end_array();
@@ -367,14 +402,15 @@ impl SweepEngine {
 
     /// Runs one (mechanism, config, workload) triple and verifies the
     /// result against the workload's mirror computation. Returns cycles,
-    /// instructions and the run's per-reason stall histogram (integer
-    /// counters, so aggregation stays worker-count independent).
+    /// instructions, the run's per-reason stall histogram and its branch
+    /// summary (integer counters, so aggregation stays worker-count
+    /// independent).
     fn run_unit(
         label: &str,
         mechanism: Mechanism,
         config: &MachineConfig,
         w: &Workload,
-    ) -> Result<(u64, u64, StallHistogram), EngineError> {
+    ) -> Result<(u64, u64, StallHistogram, BranchSummary), EngineError> {
         let sim = mechanism.build(config);
         let mut hist = StallHistogram::default();
         let r = sim
@@ -395,7 +431,12 @@ impl SweepEngine {
             workload: w.name,
             err,
         })?;
-        Ok((r.cycles, r.instructions, hist))
+        let branch = BranchSummary {
+            predicts: r.stats.predicted_branches,
+            mispredicts: r.stats.mispredicted_branches,
+            flush_cycles: r.stats.stalls(StallReason::MispredictRepair),
+        };
+        Ok((r.cycles, r.instructions, hist, branch))
     }
 
     /// Fills the baseline cache for every configuration in `configs`
@@ -531,11 +572,15 @@ impl SweepEngine {
             let mut cycles = 0u64;
             let mut instructions = 0u64;
             let mut stalls = StallHistogram::default();
+            let mut branch = BranchSummary::default();
             for out in &outs[ji * per_job..(ji + 1) * per_job] {
-                let (c, n, h) = out.as_ref().map_err(Clone::clone)?;
+                let (c, n, h, b) = out.as_ref().map_err(Clone::clone)?;
                 cycles += c;
                 instructions += n;
                 stalls.absorb(h);
+                branch.predicts += b.predicts;
+                branch.mispredicts += b.mispredicts;
+                branch.flush_cycles += b.flush_cycles;
             }
             let baseline_cycles = *cache
                 .get(&job.config)
@@ -557,6 +602,7 @@ impl SweepEngine {
                 dataflow_bound,
                 efficiency: dataflow_bound as f64 / cycles as f64,
                 stalls: stalls.rows(),
+                branch: job.mechanism.predictor().map(|_| branch),
             });
         }
         drop(cache);
@@ -597,7 +643,7 @@ impl SweepEngine {
         let bounds = self.dataflow_bounds(config)?;
         let outs = self.run_pool(self.suite.len(), |i| {
             let w = &self.suite[i];
-            Self::run_unit(&label, mechanism, config, w).map(|(c, n, _)| (w.name, c, n))
+            Self::run_unit(&label, mechanism, config, w).map(|(c, n, _, _)| (w.name, c, n))
         });
         outs.into_iter()
             .zip(bounds.iter())
@@ -765,6 +811,57 @@ mod tests {
             assert!(j.stalls.iter().all(|&(_, n)| n > 0));
             assert!(j.stalls.len() <= StallReason::ALL.len());
         }
+    }
+
+    #[test]
+    fn speculative_jobs_report_branch_stats() {
+        use ruu_issue::PredictorConfig;
+        let engine = SweepEngine::new(mini_suite()).with_workers(2);
+        let cfg = MachineConfig::paper();
+        let jobs = vec![
+            ruu_job(8),
+            Job::new(
+                Mechanism::SpecRuu {
+                    entries: 8,
+                    bypass: Bypass::Full,
+                    predictor: PredictorConfig::default(),
+                },
+                cfg.clone(),
+            ),
+        ];
+        let report = engine.run_grid(&jobs).expect("grid");
+        assert!(
+            report.jobs[0].branch.is_none(),
+            "non-speculative jobs carry no branch stats"
+        );
+        let b = report.jobs[1]
+            .branch
+            .expect("speculative job has branch stats");
+        // The mini kernels' loop condition is computed right before the
+        // branch, so the speculative machine must actually predict, and
+        // the two-bit counter misses each loop exit.
+        assert!(b.predicts > 0);
+        assert!(b.mispredicts > 0 && b.mispredicts <= b.predicts);
+        assert_eq!(
+            b.flush_cycles,
+            b.mispredicts * (cfg.mispredict_penalty + 1),
+            "every flush costs exactly one redirect window"
+        );
+        assert!(b.mpki(report.jobs[1].instructions) > 0.0);
+
+        // The JSON report carries the `branch` object for the
+        // speculative job only.
+        let json = report.to_json();
+        for key in [
+            "\"branch\":",
+            "\"predicts\":",
+            "\"mispredicts\":",
+            "\"mpki\":",
+            "\"flush_cycles\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches("\"branch\":").count(), 1);
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub mod tagged;
 
 pub use common::{Broadcasts, FetchSlot, Frontend, Operand, PendingBranch, Tag};
 pub use mechanism::Mechanism;
-pub use predict::{AlwaysTaken, Btfn, Predictor, TwoBit};
+pub use predict::{
+    AlwaysTaken, Bimodal, Btfn, Gshare, LocalPag, PredictError, Predictor, PredictorConfig,
+    TageLite, TwoBit,
+};
 pub use reorder::{InOrderPrecise, PreciseScheme};
 pub use ruu::{Bypass, CycleRecord, CycleTrace, InterruptFrame, RunOutcome, Ruu};
 pub use simple::SimpleIssue;

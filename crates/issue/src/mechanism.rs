@@ -7,10 +7,12 @@ use ruu_exec::Memory;
 use ruu_isa::Program;
 use ruu_sim_core::{MachineConfig, RunResult};
 
+use crate::predict::PredictorConfig;
 use crate::reorder::{InOrderPrecise, PreciseScheme};
 use crate::ruu::{Bypass, Ruu};
 use crate::simple::SimpleIssue;
 use crate::simulator::IssueSimulator;
+use crate::spec_ruu::SpecRuu;
 use crate::tagged::{TaggedSim, WindowKind};
 use crate::SimError;
 
@@ -78,6 +80,16 @@ pub enum Mechanism {
         /// Buffer entries.
         entries: usize,
     },
+    /// The speculative RUU (paper §7): RUU plus branch prediction and
+    /// conditional execution.
+    SpecRuu {
+        /// RUU entries.
+        entries: usize,
+        /// Bypass policy.
+        bypass: Bypass,
+        /// Branch predictor.
+        predictor: PredictorConfig,
+    },
 }
 
 impl Mechanism {
@@ -112,6 +124,16 @@ impl Mechanism {
             Mechanism::InOrderPrecise { scheme, entries } => {
                 Box::new(InOrderPrecise::new(config.clone(), scheme, entries))
             }
+            Mechanism::SpecRuu {
+                entries,
+                bypass,
+                predictor,
+            } => Box::new(SpecRuu::with_predictor(
+                config.clone(),
+                entries,
+                bypass,
+                predictor,
+            )),
         }
     }
 
@@ -142,7 +164,8 @@ impl Mechanism {
             Mechanism::RsPool { rs, .. } => Some(rs),
             Mechanism::Rstu { entries }
             | Mechanism::Ruu { entries, .. }
-            | Mechanism::InOrderPrecise { entries, .. } => Some(entries),
+            | Mechanism::InOrderPrecise { entries, .. }
+            | Mechanism::SpecRuu { entries, .. } => Some(entries),
         }
     }
 
@@ -151,8 +174,18 @@ impl Mechanism {
     pub fn is_precise(&self) -> bool {
         matches!(
             self,
-            Mechanism::Ruu { .. } | Mechanism::InOrderPrecise { .. }
+            Mechanism::Ruu { .. } | Mechanism::InOrderPrecise { .. } | Mechanism::SpecRuu { .. }
         )
+    }
+
+    /// The branch predictor this mechanism speculates with, when it
+    /// speculates at all.
+    #[must_use]
+    pub fn predictor(&self) -> Option<PredictorConfig> {
+        match *self {
+            Mechanism::SpecRuu { predictor, .. } => Some(predictor),
+            _ => None,
+        }
     }
 }
 
@@ -176,6 +209,18 @@ impl fmt::Display for Mechanism {
             }
             Mechanism::InOrderPrecise { scheme, entries } => {
                 write!(f, "{}({entries})", scheme.name())
+            }
+            Mechanism::SpecRuu {
+                entries,
+                bypass,
+                predictor,
+            } => {
+                let b = match bypass {
+                    Bypass::Full => "bypass",
+                    Bypass::None => "no-bypass",
+                    Bypass::LimitedA => "limited-bypass",
+                };
+                write!(f, "spec-ruu({entries},{b},{predictor})")
             }
         }
     }
@@ -215,6 +260,16 @@ mod tests {
             Mechanism::InOrderPrecise {
                 scheme: PreciseScheme::FutureFile,
                 entries: 8,
+            },
+            Mechanism::SpecRuu {
+                entries: 8,
+                bypass: Bypass::Full,
+                predictor: PredictorConfig::default(),
+            },
+            Mechanism::SpecRuu {
+                entries: 8,
+                bypass: Bypass::Full,
+                predictor: PredictorConfig::Gshare { entries: 1024 },
             },
         ]
     }

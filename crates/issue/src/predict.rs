@@ -1,155 +1,12 @@
-//! Branch predictors for the §7 extension (conditional execution).
+//! Branch predictors for the §7 extension — now a compatibility shim.
 //!
-//! The paper closes by observing that the RUU "provides a very powerful
-//! mechanism for nullifying instructions", making conditional execution
-//! down a predicted path easy (§7), and cites Smith's branch-prediction
-//! study (the paper's reference \[6\]). These are the classic predictors from that line of
-//! work.
+//! The predictors moved to the standalone [`ruu_predict`] crate (the
+//! trait, the classic static/counter predictors, the zoo, the BTB and
+//! the CBP replay harness). Everything this module used to define is
+//! re-exported here so existing `ruu_issue::predict::…` paths keep
+//! compiling.
 
-/// A direction predictor for conditional branches.
-pub trait Predictor {
-    /// Predicts whether the branch at `pc` (jumping to `target`) is
-    /// taken.
-    fn predict(&mut self, pc: u32, target: u32) -> bool;
-
-    /// Trains the predictor with the branch's actual outcome.
-    fn update(&mut self, pc: u32, taken: bool);
-
-    /// Short display name for reports.
-    fn name(&self) -> &'static str;
-}
-
-/// Predict every conditional branch taken — surprisingly strong on loop
-/// code.
-#[derive(Debug, Clone, Default)]
-pub struct AlwaysTaken;
-
-impl Predictor for AlwaysTaken {
-    fn predict(&mut self, _pc: u32, _target: u32) -> bool {
-        true
-    }
-
-    fn update(&mut self, _pc: u32, _taken: bool) {}
-
-    fn name(&self) -> &'static str {
-        "always-taken"
-    }
-}
-
-/// Backward-taken / forward-not-taken: static prediction by branch
-/// direction.
-#[derive(Debug, Clone, Default)]
-pub struct Btfn;
-
-impl Predictor for Btfn {
-    fn predict(&mut self, pc: u32, target: u32) -> bool {
-        target <= pc
-    }
-
-    fn update(&mut self, _pc: u32, _taken: bool) {}
-
-    fn name(&self) -> &'static str {
-        "btfn"
-    }
-}
-
-/// Smith's 2-bit saturating-counter table, indexed by low pc bits.
-#[derive(Debug, Clone)]
-pub struct TwoBit {
-    table: Vec<u8>,
-    mask: u32,
-}
-
-impl TwoBit {
-    /// A table of `entries` counters (power of two), initialised to
-    /// weakly taken.
-    ///
-    /// # Panics
-    /// Panics if `entries` is not a power of two.
-    #[must_use]
-    pub fn new(entries: usize) -> Self {
-        assert!(
-            entries.is_power_of_two(),
-            "predictor table size must be a power of two"
-        );
-        TwoBit {
-            table: vec![2; entries],
-            mask: (entries - 1) as u32,
-        }
-    }
-}
-
-impl Default for TwoBit {
-    fn default() -> Self {
-        TwoBit::new(64)
-    }
-}
-
-impl Predictor for TwoBit {
-    fn predict(&mut self, pc: u32, _target: u32) -> bool {
-        self.table[(pc & self.mask) as usize] >= 2
-    }
-
-    fn update(&mut self, pc: u32, taken: bool) {
-        let c = &mut self.table[(pc & self.mask) as usize];
-        if taken {
-            *c = (*c + 1).min(3);
-        } else {
-            *c = c.saturating_sub(1);
-        }
-    }
-
-    fn name(&self) -> &'static str {
-        "2-bit"
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn always_taken() {
-        let mut p = AlwaysTaken;
-        assert!(p.predict(10, 2));
-        assert!(p.predict(10, 20));
-    }
-
-    #[test]
-    fn btfn_predicts_by_direction() {
-        let mut p = Btfn;
-        assert!(p.predict(10, 2), "backward taken");
-        assert!(!p.predict(10, 20), "forward not taken");
-    }
-
-    #[test]
-    fn two_bit_saturates_and_hysteresis() {
-        let mut p = TwoBit::new(16);
-        // initial: weakly taken
-        assert!(p.predict(5, 0));
-        p.update(5, false);
-        assert!(!p.predict(5, 0), "one not-taken flips weak counter");
-        p.update(5, true);
-        p.update(5, true);
-        assert!(p.predict(5, 0));
-        // one not-taken does not flip a strong counter
-        p.update(5, true);
-        p.update(5, false);
-        assert!(p.predict(5, 0));
-    }
-
-    #[test]
-    fn two_bit_entries_are_independent() {
-        let mut p = TwoBit::new(16);
-        p.update(0, false);
-        p.update(0, false);
-        assert!(!p.predict(0, 0));
-        assert!(p.predict(1, 0));
-    }
-
-    #[test]
-    #[should_panic(expected = "power of two")]
-    fn table_size_validated() {
-        let _ = TwoBit::new(10);
-    }
-}
+pub use ruu_predict::{
+    AlwaysTaken, Bimodal, Btb, Btfn, Gshare, LocalPag, PredictError, Predictor, PredictorConfig,
+    TageLite, TwoBit,
+};

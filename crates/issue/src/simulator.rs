@@ -17,7 +17,6 @@ use ruu_exec::{ArchState, Memory};
 use ruu_isa::Program;
 use ruu_sim_core::{MachineConfig, PipelineObserver, RunResult};
 
-use crate::predict::TwoBit;
 use crate::reorder::InOrderPrecise;
 use crate::ruu::Ruu;
 use crate::simple::SimpleIssue;
@@ -185,10 +184,11 @@ impl IssueSimulator for InOrderPrecise {
     }
 }
 
-/// The speculative RUU behind the uniform interface: each run gets a
-/// fresh two-bit predictor, so `&self` runs stay independent and
-/// repeatable. The architectural [`RunResult`] is returned; the
-/// speculation counters are available via [`SpecRuu::run`] directly.
+/// The speculative RUU behind the uniform interface: each run builds a
+/// fresh predictor from the simulator's [`SpecRuu::predictor`]
+/// configuration, so `&self` runs stay independent and repeatable. The
+/// architectural [`RunResult`] is returned; the speculation counters are
+/// available via [`SpecRuu::run`] directly.
 impl IssueSimulator for SpecRuu {
     fn config(&self) -> &MachineConfig {
         SpecRuu::config(self)
@@ -201,9 +201,9 @@ impl IssueSimulator for SpecRuu {
         program: &Program,
         limit: u64,
     ) -> Result<RunResult, SimError> {
-        let mut pred = TwoBit::default();
+        let mut pred = self.predictor().build();
         let mut nobs = ruu_sim_core::NullObserver;
-        SpecRuu::run_from_observed(self, state, mem, program, limit, &mut pred, &mut nobs)
+        SpecRuu::run_from_observed(self, state, mem, program, limit, pred.as_mut(), &mut nobs)
             .map(|r| r.run)
     }
 
@@ -215,14 +215,16 @@ impl IssueSimulator for SpecRuu {
         limit: u64,
         obs: &mut dyn PipelineObserver,
     ) -> Result<RunResult, SimError> {
-        let mut pred = TwoBit::default();
-        SpecRuu::run_from_observed(self, state, mem, program, limit, &mut pred, obs).map(|r| r.run)
+        let mut pred = self.predictor().build();
+        SpecRuu::run_from_observed(self, state, mem, program, limit, pred.as_mut(), obs)
+            .map(|r| r.run)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::predict::TwoBit;
     use crate::{Bypass, Mechanism, PreciseScheme, WindowKind};
     use ruu_isa::{Asm, Reg};
 

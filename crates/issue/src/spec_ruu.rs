@@ -30,7 +30,7 @@ use ruu_sim_core::{
 };
 
 use crate::common::{Broadcasts, Operand, Tag};
-use crate::predict::Predictor;
+use crate::predict::{Predictor, PredictorConfig};
 use crate::ruu::Bypass;
 use crate::SimError;
 
@@ -63,20 +63,43 @@ pub struct SpecRuu {
     config: MachineConfig,
     entries: usize,
     bypass: Bypass,
+    predictor: PredictorConfig,
 }
 
 impl SpecRuu {
-    /// Creates a speculative RUU with `entries` window entries.
+    /// Creates a speculative RUU with `entries` window entries and the
+    /// default predictor ([`PredictorConfig::default`], the paper-era
+    /// 64-entry two-bit counter table).
     ///
     /// # Panics
     /// Panics if `entries` is zero.
     #[must_use]
     pub fn new(config: MachineConfig, entries: usize, bypass: Bypass) -> Self {
+        SpecRuu::with_predictor(config, entries, bypass, PredictorConfig::default())
+    }
+
+    /// As [`SpecRuu::new`], selecting the branch predictor the uniform
+    /// [`crate::IssueSimulator`] entry points instantiate per run.
+    ///
+    /// # Panics
+    /// Panics if `entries` is zero or `predictor` fails
+    /// [`PredictorConfig::validate`].
+    #[must_use]
+    pub fn with_predictor(
+        config: MachineConfig,
+        entries: usize,
+        bypass: Bypass,
+        predictor: PredictorConfig,
+    ) -> Self {
         assert!(entries > 0, "the RUU needs at least one entry");
+        if let Err(e) = predictor.validate() {
+            panic!("invalid predictor configuration: {e}");
+        }
         SpecRuu {
             config,
             entries,
             bypass,
+            predictor,
         }
     }
 
@@ -84,6 +107,12 @@ impl SpecRuu {
     #[must_use]
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// The predictor configuration used by the trait-object entry points.
+    #[must_use]
+    pub fn predictor(&self) -> PredictorConfig {
+        self.predictor
     }
 
     /// Runs `program` to completion under speculation with `predictor`.
@@ -230,6 +259,9 @@ struct SCore<'a> {
 
     pc: u32,
     next_fetch_cycle: u64,
+    /// Fetch-stall cycles strictly before this cycle are misprediction
+    /// repair (squash + redirect) rather than ordinary branch bubbles.
+    repair_until: u64,
     halted: bool,
 
     seq_counter: u64,
@@ -278,6 +310,7 @@ impl<'a> SCore<'a> {
             obs,
             pc,
             next_fetch_cycle: 0,
+            repair_until: 0,
             halted: false,
             seq_counter: 0,
             completed: 0,
@@ -584,6 +617,7 @@ impl<'a> SCore<'a> {
             if actual != b.assumed_taken {
                 debug_assert!(b.speculative, "a known-direction branch cannot mispredict");
                 self.spec.mispredicted += 1;
+                self.stats.mispredicted_branches += 1;
                 self.squash(&b);
                 break; // younger branches were squashed with everything else
             }
@@ -632,10 +666,14 @@ impl<'a> SCore<'a> {
         self.li = b.li;
         self.ff = b.ff;
 
-        // Redirect fetch to the repair path.
+        // Redirect fetch to the repair path. The current cycle and the
+        // `mispredict_penalty` cycles after it are all charged as
+        // misprediction repair: `repair_stalls == flushes * (penalty + 1)`
+        // is the invariant `FlushAccountant` checks.
         self.pc = b.repair_pc;
         self.halted = false;
         self.next_fetch_cycle = self.cycle + 1 + self.cfg.mispredict_penalty;
+        self.repair_until = self.next_fetch_cycle;
     }
 
     fn read_operand(&self, r: Reg) -> Operand {
@@ -683,8 +721,13 @@ impl<'a> SCore<'a> {
             return Ok(());
         }
         if self.cycle < self.next_fetch_cycle {
-            self.stats.stall(StallReason::DeadCycle);
-            self.obs.stall(self.cycle, StallReason::DeadCycle);
+            let reason = if self.cycle < self.repair_until {
+                StallReason::MispredictRepair
+            } else {
+                StallReason::DeadCycle
+            };
+            self.stats.stall(reason);
+            self.obs.stall(self.cycle, reason);
             return Ok(());
         }
         // Running off the end of the program or decoding HALT drains the
@@ -729,6 +772,7 @@ impl<'a> SCore<'a> {
                 }
                 Operand::Waiting(_) => {
                     self.spec.predicted += 1;
+                    self.stats.predicted_branches += 1;
                     (self.predictor.predict(self.pc, target), true)
                 }
             };

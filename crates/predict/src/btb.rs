@@ -1,0 +1,145 @@
+//! A set-associative branch target buffer.
+//!
+//! Direction predictors answer *taken or not*; the BTB answers *where
+//! to*. On this ISA branch targets are decoded from the instruction word,
+//! so the pipeline models do not need a BTB functionally — the buffer
+//! exists for the CBP harness, which reports how often a fetch-stage
+//! target lookup would have hit had targets not been free.
+
+/// One BTB way.
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    pc: u32,
+    target: u32,
+    /// Logical access time for LRU replacement (deterministic tick, not
+    /// wall clock).
+    stamp: u64,
+}
+
+/// A set-associative branch target buffer with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    ways: Vec<Way>,
+    assoc: usize,
+    set_mask: u32,
+    tick: u64,
+}
+
+impl Btb {
+    /// A BTB of `sets` sets (power of two) × `assoc` ways.
+    ///
+    /// # Panics
+    /// Panics if `sets` is not a power of two or `assoc` is zero.
+    #[must_use]
+    pub fn new(sets: usize, assoc: usize) -> Self {
+        assert!(
+            sets.is_power_of_two(),
+            "BTB set count must be a power of two"
+        );
+        assert!(assoc > 0, "BTB needs at least one way");
+        Btb {
+            ways: vec![Way::default(); sets * assoc],
+            assoc,
+            set_mask: (sets - 1) as u32,
+            tick: 0,
+        }
+    }
+
+    /// Total entries.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.ways.len()
+    }
+
+    fn set_range(&self, pc: u32) -> std::ops::Range<usize> {
+        let set = (pc & self.set_mask) as usize;
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Looks up the predicted target for the branch at `pc`, refreshing
+    /// its LRU stamp on a hit.
+    pub fn lookup(&mut self, pc: u32) -> Option<u32> {
+        self.tick += 1;
+        let range = self.set_range(pc);
+        let tick = self.tick;
+        self.ways[range]
+            .iter_mut()
+            .find(|w| w.valid && w.pc == pc)
+            .map(|w| {
+                w.stamp = tick;
+                w.target
+            })
+    }
+
+    /// Installs (or refreshes) the mapping `pc → target`, evicting the
+    /// least recently used way of the set if necessary.
+    pub fn insert(&mut self, pc: u32, target: u32) {
+        self.tick += 1;
+        let range = self.set_range(pc);
+        let tick = self.tick;
+        let set = &mut self.ways[range];
+        let slot = match set.iter_mut().find(|w| w.valid && w.pc == pc) {
+            Some(hit) => hit,
+            None => match set.iter_mut().find(|w| !w.valid) {
+                Some(free) => free,
+                None => set
+                    .iter_mut()
+                    .min_by_key(|w| w.stamp)
+                    .expect("assoc > 0 guarantees a way"),
+            },
+        };
+        *slot = Way {
+            valid: true,
+            pc,
+            target,
+            stamp: tick,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = Btb::new(16, 2);
+        assert_eq!(b.lookup(5), None);
+        b.insert(5, 99);
+        assert_eq!(b.lookup(5), Some(99));
+        b.insert(5, 100);
+        assert_eq!(b.lookup(5), Some(100), "reinsert updates the target");
+    }
+
+    #[test]
+    fn set_conflicts_evict_lru() {
+        // 1 set × 2 ways: three conflicting pcs force an eviction.
+        let mut b = Btb::new(1, 2);
+        b.insert(1, 11);
+        b.insert(2, 22);
+        assert_eq!(b.lookup(1), Some(11)); // 1 is now most recent
+        b.insert(3, 33); // evicts 2, the LRU
+        assert_eq!(b.lookup(2), None);
+        assert_eq!(b.lookup(1), Some(11));
+        assert_eq!(b.lookup(3), Some(33));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut b = Btb::new(4, 1);
+        b.insert(0, 10);
+        b.insert(1, 11);
+        b.insert(2, 12);
+        b.insert(3, 13);
+        assert_eq!(b.lookup(0), Some(10));
+        assert_eq!(b.lookup(3), Some(13));
+        assert_eq!(b.entries(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn set_count_validated() {
+        let _ = Btb::new(3, 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Golden CBP-replay numbers over the Livermore suite.
+//!
+//! The per-loop TwoBit(64) snapshot pins the paper-era default predictor:
+//! any change to the branch-stream extraction, the replay loop, or the
+//! two-bit dynamics shows up here as an exact-count diff. The ablation
+//! test pins the headline result of the predictor zoo — TAGE-lite
+//! strictly beats the calibrated TwoBit(64) default in total
+//! mispredictions, because its BTFN-primed base wins the cold
+//! first-occurrences that dominate once-through kernel traces.
+
+use ruu_predict::cbp::{evaluate, evaluate_with_btb, BranchStream};
+use ruu_predict::{Btb, PredictorConfig};
+use ruu_workloads::livermore;
+
+/// Replays every Livermore loop through `cfg` with a fresh predictor per
+/// loop (CBP convention), returning `(loop, cond_branches, mispredicts)`
+/// rows plus the total instruction count.
+fn replay_suite(cfg: PredictorConfig) -> (Vec<(&'static str, u64, u64)>, u64) {
+    let mut rows = Vec::new();
+    let mut instructions = 0;
+    for w in livermore::all() {
+        let trace = w.golden_trace().expect("golden run succeeds");
+        let stream = BranchStream::from_trace(&trace);
+        let mut p = cfg.build();
+        let r = evaluate(&stream, p.as_mut());
+        instructions += r.instructions;
+        rows.push((w.name, r.cond_branches, r.mispredicts));
+    }
+    (rows, instructions)
+}
+
+#[test]
+fn twobit64_per_loop_golden_snapshot() {
+    // Exact per-loop conditional-branch and misprediction counts for the
+    // speculative RUU's calibrated default, TwoBit(64).
+    let expected: [(&str, u64, u64); 14] = [
+        ("LLL1", 400, 1),
+        ("LLL2", 510, 11),
+        ("LLL3", 1001, 1),
+        ("LLL4", 603, 4),
+        ("LLL5", 995, 1),
+        ("LLL6", 1274, 52),
+        ("LLL7", 150, 1),
+        ("LLL8", 78, 2),
+        ("LLL9", 150, 1),
+        ("LLL10", 130, 1),
+        ("LLL11", 1299, 1),
+        ("LLL12", 1300, 1),
+        ("LLL13", 280, 1),
+        ("LLL14", 380, 1),
+    ];
+    let (rows, instructions) = replay_suite(PredictorConfig::default());
+    assert_eq!(rows.as_slice(), &expected);
+    assert_eq!(instructions, 108_513);
+    let (cond, miss) = rows
+        .iter()
+        .fold((0, 0), |(c, m), &(_, bc, bm)| (c + bc, m + bm));
+    assert_eq!((cond, miss), (8550, 79));
+    // Suite-level MPKI of the default predictor, pinned to the counts.
+    let mpki = miss as f64 * 1000.0 / instructions as f64;
+    assert!((mpki - 79_000.0 / 108_513.0).abs() < 1e-12);
+}
+
+#[test]
+fn tage_lite_strictly_beats_the_twobit_default() {
+    let (twobit, _) = replay_suite(PredictorConfig::default());
+    let (tage, _) = replay_suite(PredictorConfig::Tage { entries: 512 });
+    let total = |rows: &[(&str, u64, u64)]| rows.iter().map(|r| r.2).sum::<u64>();
+    let (t2, tg) = (total(&twobit), total(&tage));
+    assert!(
+        tg < t2,
+        "tage-lite must strictly beat twobit:64 in total mispredictions, got {tg} vs {t2}"
+    );
+    // And it never loses on any individual loop.
+    for (a, b) in twobit.iter().zip(&tage) {
+        assert!(b.2 <= a.2, "{}: tage {} vs twobit {}", a.0, b.2, a.2);
+    }
+}
+
+#[test]
+fn the_whole_zoo_is_usable_and_accurate_on_the_suite() {
+    for cfg in PredictorConfig::zoo() {
+        let (rows, _) = replay_suite(cfg);
+        let (cond, miss) = rows
+            .iter()
+            .fold((0, 0), |(c, m), &(_, bc, bm)| (c + bc, m + bm));
+        assert_eq!(cond, 8550, "{cfg}: replays the full branch stream");
+        let accuracy = 1.0 - miss as f64 / cond as f64;
+        assert!(
+            accuracy > 0.98,
+            "{cfg}: accuracy {accuracy:.4} collapsed on the suite"
+        );
+    }
+}
+
+#[test]
+fn btb_misses_are_compulsory_only() {
+    // Kernel loops have few distinct taken sites, far below 64 sets x 4
+    // ways: every BTB miss must be a site's compulsory first lookup —
+    // zero capacity or conflict misses.
+    for w in livermore::all() {
+        let trace = w.golden_trace().expect("golden run succeeds");
+        let stream = BranchStream::from_trace(&trace);
+        let distinct_taken: std::collections::BTreeSet<u32> = stream
+            .events
+            .iter()
+            .filter(|e| e.taken)
+            .map(|e| e.pc)
+            .collect();
+        let mut p = PredictorConfig::default().build();
+        let mut btb = Btb::new(64, 4);
+        let r = evaluate_with_btb(&stream, p.as_mut(), &mut btb);
+        let b = r.btb.expect("btb stats present");
+        assert_eq!(
+            b.lookups - b.hits,
+            distinct_taken.len() as u64,
+            "{}: BTB misses must equal the distinct taken sites",
+            w.name
+        );
+    }
+}

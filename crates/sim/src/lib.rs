@@ -31,7 +31,7 @@ pub use config::MachineConfig;
 pub use fu::FuPool;
 pub use loadregs::{LoadRegUnit, LrOutcome, MemOpKind, OpId};
 pub use observe::{
-    AccountingViolation, ChromeTraceObserver, CycleAccountant, NullObserver, PipelineObserver,
-    StallHistogram, Tee,
+    AccountingViolation, ChromeTraceObserver, CycleAccountant, FlushAccountant, FlushViolation,
+    NullObserver, PipelineObserver, StallHistogram, Tee,
 };
 pub use stats::{RunResult, RunStats, StallReason};

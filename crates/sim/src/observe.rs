@@ -245,6 +245,103 @@ impl PipelineObserver for CycleAccountant {
     }
 }
 
+/// Flush-accounting report for a run whose squashes did not line up with
+/// its recorded mispredictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushViolation {
+    /// Flush events observed.
+    pub flushes: u64,
+    /// Mispredicted branches the run reported.
+    pub mispredicted: u64,
+    /// `MispredictRepair` stall cycles observed.
+    pub repair_stalls: u64,
+    /// Repair stalls the misprediction count implies
+    /// (`flushes * (penalty + 1)`).
+    pub expected_repair_stalls: u64,
+}
+
+impl fmt::Display for FlushViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flush accounting violated: {} flushes vs {} recorded mispredictions; \
+             {} mispredict-repair stalls vs {} expected",
+            self.flushes, self.mispredicted, self.repair_stalls, self.expected_repair_stalls,
+        )
+    }
+}
+
+impl std::error::Error for FlushViolation {}
+
+/// Observer that ties every pipeline flush back to a recorded branch
+/// misprediction.
+///
+/// A speculative machine may only squash state because a predicted branch
+/// resolved the other way, and each squash must stall fetch for exactly
+/// the redirect window (`mispredict_penalty + 1` cycles, charged as
+/// [`StallReason::MispredictRepair`]). [`FlushAccountant::verify`] checks
+/// both identities against the run's reported misprediction count:
+///
+/// ```text
+/// flushes       == mispredicted_branches
+/// repair_stalls == flushes * (mispredict_penalty + 1)
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FlushAccountant {
+    flushes: u64,
+    squashed: u64,
+    repair_stalls: u64,
+}
+
+impl FlushAccountant {
+    /// Flush events observed so far.
+    #[must_use]
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Total window entries squashed across all flushes.
+    #[must_use]
+    pub fn squashed(&self) -> u64 {
+        self.squashed
+    }
+
+    /// `MispredictRepair` stall cycles observed so far.
+    #[must_use]
+    pub fn repair_stalls(&self) -> u64 {
+        self.repair_stalls
+    }
+
+    /// Verifies that every flush is attributable to a recorded
+    /// misprediction and paid for with exactly one redirect window of
+    /// repair stalls.
+    pub fn verify(&self, mispredicted: u64, mispredict_penalty: u64) -> Result<(), FlushViolation> {
+        let expected_repair = self.flushes * (mispredict_penalty + 1);
+        if self.flushes == mispredicted && self.repair_stalls == expected_repair {
+            Ok(())
+        } else {
+            Err(FlushViolation {
+                flushes: self.flushes,
+                mispredicted,
+                repair_stalls: self.repair_stalls,
+                expected_repair_stalls: expected_repair,
+            })
+        }
+    }
+}
+
+impl PipelineObserver for FlushAccountant {
+    fn flush(&mut self, _cycle: u64, squashed: u64) {
+        self.flushes += 1;
+        self.squashed += squashed;
+    }
+    fn stall(&mut self, _cycle: u64, reason: StallReason) {
+        if reason == StallReason::MispredictRepair {
+            self.repair_stalls += 1;
+        }
+    }
+}
+
 /// Observer that accumulates a per-reason stall histogram (plus issue
 /// cycles and occupancy), for the bench harness's stall-breakdown tables.
 #[derive(Debug, Default, Clone)]
@@ -593,6 +690,26 @@ mod tests {
         total.absorb(&h);
         assert_eq!(total.cycles(), 6);
         assert_eq!(total.total_stalls(), 4);
+    }
+
+    #[test]
+    fn flush_accountant_ties_flushes_to_mispredictions() {
+        let mut acc = FlushAccountant::default();
+        // One mispredict with penalty 3: the flush plus 4 repair stalls.
+        acc.flush(10, 5);
+        for c in 10..14 {
+            acc.stall(c, StallReason::MispredictRepair);
+        }
+        acc.stall(14, StallReason::DeadCycle); // unrelated stall, ignored
+        assert_eq!(acc.flushes(), 1);
+        assert_eq!(acc.squashed(), 5);
+        assert_eq!(acc.repair_stalls(), 4);
+        assert!(acc.verify(1, 3).is_ok());
+        // A flush without a recorded misprediction is a violation.
+        let v = acc.verify(0, 3).expect_err("unattributed flush");
+        assert!(v.to_string().contains("flush accounting violated"));
+        // So is a repair window of the wrong width.
+        assert!(acc.verify(1, 2).is_err());
     }
 
     #[test]

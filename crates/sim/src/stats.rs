@@ -31,13 +31,16 @@ pub enum StallReason {
     BranchWait,
     /// Dead cycle after a branch (instruction fetch redirect).
     DeadCycle,
+    /// Fetch stalled while the pipeline repaired a branch misprediction
+    /// (squash + redirect, §7 speculative machines only).
+    MispredictRepair,
     /// Nothing left to issue (program drained, pipeline emptying).
     Drained,
 }
 
 impl StallReason {
     /// All reasons, for iteration in reports.
-    pub const ALL: [StallReason; 10] = [
+    pub const ALL: [StallReason; 11] = [
         StallReason::OperandsNotReady,
         StallReason::DestinationBusy,
         StallReason::FuBusy,
@@ -47,6 +50,7 @@ impl StallReason {
         StallReason::RegInstanceLimit,
         StallReason::BranchWait,
         StallReason::DeadCycle,
+        StallReason::MispredictRepair,
         StallReason::Drained,
     ];
 
@@ -61,7 +65,8 @@ impl StallReason {
             StallReason::RegInstanceLimit => 6,
             StallReason::BranchWait => 7,
             StallReason::DeadCycle => 8,
-            StallReason::Drained => 9,
+            StallReason::MispredictRepair => 9,
+            StallReason::Drained => 10,
         }
     }
 }
@@ -78,6 +83,7 @@ impl fmt::Display for StallReason {
             StallReason::RegInstanceLimit => "reg-instance-limit",
             StallReason::BranchWait => "branch-wait",
             StallReason::DeadCycle => "dead-cycle",
+            StallReason::MispredictRepair => "mispredict-repair",
             StallReason::Drained => "drained",
         };
         f.write_str(s)
@@ -101,6 +107,12 @@ pub struct RunStats {
     /// Loads satisfied by forwarding from the load registers rather than
     /// memory.
     pub forwarded_loads: u64,
+    /// Conditional branches whose direction was actually predicted
+    /// (speculative machines only; zero elsewhere).
+    pub predicted_branches: u64,
+    /// Predicted branches that resolved against the prediction and forced
+    /// a squash (speculative machines only; zero elsewhere).
+    pub mispredicted_branches: u64,
 }
 
 impl RunStats {
@@ -153,6 +165,13 @@ impl fmt::Display for RunStats {
             "branches         {:>10} ({} taken)",
             self.branches, self.taken_branches
         )?;
+        if self.predicted_branches > 0 {
+            writeln!(
+                f,
+                "predicted        {:>10} ({} mispredicted)",
+                self.predicted_branches, self.mispredicted_branches
+            )?;
+        }
         writeln!(f, "forwarded loads  {:>10}", self.forwarded_loads)?;
         let cycles = self.issue_cycles + self.total_stalls();
         match self.mean_occupancy(cycles) {

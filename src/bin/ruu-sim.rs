@@ -2,24 +2,39 @@
 //!
 //! ```text
 //! ruu-sim <mechanism> [workload] [--entries N] [--paths N] [--loadregs N]
+//!               [--predictor NAME[:SIZE]]
 //! ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...
 //!               [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]
+//!               [--predictor NAME[:SIZE]]
+//! ruu-sim cbp [--predictor NAME[:SIZE]]... [--loop <LLL1..LLL14|file.s> |
+//!               --all-loops] [--json] [--top N]
 //! ruu-sim trace --mechanism <name> --loop <LLL1..LLL14|file.s> --out FILE
 //!               [--entries N]
 //! ruu-sim lint [--all-loops | LLL1..LLL14 | file.s] [--deny-warnings]
+//!              [--branch-sites]
 //! ruu-sim analyze [--all-loops | LLL1..LLL14 | file.s] [--mechanism <name>]
 //!                 [--entries N]
 //!
 //! mechanisms: simple | tomasulo | tagunit | rspool | rstu |
 //!             ruu | ruu-bypass | ruu-nobypass | ruu-limited |
-//!             reorder | reorder-bypass | history | future | spec
+//!             reorder | reorder-bypass | history | future | spec(-ruu)
 //! workload:   LLL1..LLL14 | all | file.s   (default: all)
+//! predictors: always-taken | btfn | twobit[:N] | bimodal[:N] | gshare[:N] |
+//!             local[:N] | tage[:N]
 //! ```
 //!
 //! The `sweep` subcommand runs a window-size grid over the full Livermore
 //! suite on the parallel `ruu-engine` (`--jobs 0` = one worker per
 //! hardware thread), printing paper-style speedup/issue-rate rows or,
 //! with `--json`, the engine's full [`ruu::engine::SweepReport`].
+//!
+//! The `cbp` subcommand is the trace-driven predictor championship: it
+//! replays each workload's golden branch stream (from `ruu::exec`)
+//! through the selected predictors — the whole `ruu::predict` zoo by
+//! default — alongside a 64-set/4-way BTB, and reports per-predictor
+//! accuracy, MPKI, and BTB hit rate (per-site worst offenders for a
+//! single `--loop`). No timing simulator runs; this measures the
+//! predictors themselves.
 //!
 //! The `trace` subcommand runs one workload with a
 //! [`ruu::sim::ChromeTraceObserver`] attached and writes Chrome
@@ -40,11 +55,14 @@
 
 use std::process::ExitCode;
 
-use ruu::analysis::{apply_waivers, dataflow_bound, lint, LintOptions, Severity};
+use ruu::analysis::{apply_waivers, branch_sites, dataflow_bound, lint, LintOptions, Severity};
+use ruu::engine::json::JsonWriter;
 use ruu::engine::{Job, SweepEngine};
 use ruu::exec::{ArchState, Memory};
 use ruu::isa::text;
-use ruu::issue::{Bypass, IssueSimulator, Mechanism, PreciseScheme, Predictor, SpecRuu, TwoBit};
+use ruu::issue::{Bypass, Mechanism, PreciseScheme, PredictorConfig};
+use ruu::predict::cbp::{evaluate_with_btb, BranchStream, BtbStats, CbpResult};
+use ruu::predict::Btb;
 use ruu::sim::{ChromeTraceObserver, CycleAccountant, MachineConfig, Tee};
 use ruu::workloads::{livermore, Workload};
 
@@ -54,11 +72,16 @@ struct Options {
     entries: usize,
     paths: u32,
     loadregs: usize,
+    predictor: PredictorConfig,
 }
 
-/// Maps a CLI mechanism name (sized by `entries`) to a [`Mechanism`].
-/// `None` for the speculative machine, which is not a `Mechanism` variant.
-fn mechanism_by_name(name: &str, entries: usize) -> Result<Option<Mechanism>, String> {
+/// Maps a CLI mechanism name (sized by `entries`; the speculative machine
+/// additionally takes `predictor`) to a [`Mechanism`].
+fn mechanism_by_name(
+    name: &str,
+    entries: usize,
+    predictor: PredictorConfig,
+) -> Result<Mechanism, String> {
     // The simulator constructors assert on degenerate sizes; reject them
     // here so the CLI exits with a message instead of panicking.
     if entries == 0 {
@@ -66,45 +89,49 @@ fn mechanism_by_name(name: &str, entries: usize) -> Result<Option<Mechanism>, St
     }
     let e = entries;
     let m = match name {
-        "simple" => Some(Mechanism::Simple),
-        "tomasulo" => Some(Mechanism::Tomasulo {
+        "simple" => Mechanism::Simple,
+        "tomasulo" => Mechanism::Tomasulo {
             rs_per_fu: e.max(1) / 4 + 1,
-        }),
-        "tagunit" => Some(Mechanism::TagUnitDistributed {
+        },
+        "tagunit" => Mechanism::TagUnitDistributed {
             rs_per_fu: e.max(1) / 4 + 1,
             tags: e,
-        }),
-        "rspool" => Some(Mechanism::RsPool { rs: e, tags: e }),
-        "rstu" => Some(Mechanism::Rstu { entries: e }),
-        "ruu" | "ruu-bypass" => Some(Mechanism::Ruu {
+        },
+        "rspool" => Mechanism::RsPool { rs: e, tags: e },
+        "rstu" => Mechanism::Rstu { entries: e },
+        "ruu" | "ruu-bypass" => Mechanism::Ruu {
             entries: e,
             bypass: Bypass::Full,
-        }),
-        "ruu-nobypass" => Some(Mechanism::Ruu {
+        },
+        "ruu-nobypass" => Mechanism::Ruu {
             entries: e,
             bypass: Bypass::None,
-        }),
-        "ruu-limited" => Some(Mechanism::Ruu {
+        },
+        "ruu-limited" => Mechanism::Ruu {
             entries: e,
             bypass: Bypass::LimitedA,
-        }),
-        "reorder" => Some(Mechanism::InOrderPrecise {
+        },
+        "reorder" => Mechanism::InOrderPrecise {
             scheme: PreciseScheme::ReorderBuffer,
             entries: e,
-        }),
-        "reorder-bypass" => Some(Mechanism::InOrderPrecise {
+        },
+        "reorder-bypass" => Mechanism::InOrderPrecise {
             scheme: PreciseScheme::ReorderBufferBypass,
             entries: e,
-        }),
-        "history" => Some(Mechanism::InOrderPrecise {
+        },
+        "history" => Mechanism::InOrderPrecise {
             scheme: PreciseScheme::HistoryBuffer,
             entries: e,
-        }),
-        "future" => Some(Mechanism::InOrderPrecise {
+        },
+        "future" => Mechanism::InOrderPrecise {
             scheme: PreciseScheme::FutureFile,
             entries: e,
-        }),
-        "spec" => None,
+        },
+        "spec" | "spec-ruu" => Mechanism::SpecRuu {
+            entries: e,
+            bypass: Bypass::Full,
+            predictor,
+        },
         other => return Err(format!("unknown mechanism {other}\n{}", usage())),
     };
     Ok(m)
@@ -119,6 +146,7 @@ fn parse_args() -> Result<Options, String> {
         entries: 15,
         paths: 1,
         loadregs: 6,
+        predictor: PredictorConfig::default(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -127,6 +155,10 @@ fn parse_args() -> Result<Options, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--entries needs a number")?;
+            }
+            "--predictor" => {
+                let spec = args.next().ok_or("--predictor needs NAME[:SIZE]")?;
+                opts.predictor = PredictorConfig::parse(&spec).map_err(|e| e.to_string())?;
             }
             "--paths" => {
                 opts.paths = args
@@ -148,7 +180,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: ruu-sim <simple|tomasulo|tagunit|rspool|rstu|ruu|ruu-bypass|ruu-nobypass|\n     ruu-limited|reorder|reorder-bypass|history|future|spec> [LLL1..LLL14|all|file.s]\n     [--entries N] [--paths N] [--loadregs N]\n   or: ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...\n     [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]\n   or: ruu-sim trace --mechanism <name> --loop <LLL1..LLL14|file.s> --out FILE\n     [--entries N]\n   or: ruu-sim lint [--all-loops|LLL1..LLL14|file.s] [--deny-warnings]\n   or: ruu-sim analyze [--all-loops|LLL1..LLL14|file.s] [--mechanism <name>] [--entries N]"
+    "usage: ruu-sim <simple|tomasulo|tagunit|rspool|rstu|ruu|ruu-bypass|ruu-nobypass|\n     ruu-limited|reorder|reorder-bypass|history|future|spec|spec-ruu>\n     [LLL1..LLL14|all|file.s] [--entries N] [--paths N] [--loadregs N]\n     [--predictor NAME[:SIZE]]\n   or: ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...\n     [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]\n     [--predictor NAME[:SIZE]]\n   or: ruu-sim cbp [--predictor NAME[:SIZE]]... [--loop LLL1..LLL14|file.s | --all-loops]\n     [--json] [--top N]\n   or: ruu-sim trace --mechanism <name> --loop <LLL1..LLL14|file.s> --out FILE\n     [--entries N]\n   or: ruu-sim lint [--all-loops|LLL1..LLL14|file.s] [--deny-warnings] [--branch-sites]\n   or: ruu-sim analyze [--all-loops|LLL1..LLL14|file.s] [--mechanism <name>] [--entries N]\n\npredictors: always-taken | btfn | twobit[:N] | bimodal[:N] | gshare[:N] |\n            local[:N] | tage[:N]   (cbp default: the whole zoo)"
         .to_string()
 }
 
@@ -217,10 +249,15 @@ fn run_sweep(mut args: std::env::Args) -> Result<(), String> {
     let mut paths: u32 = 1;
     let mut loadregs: usize = 6;
     let mut buses: u32 = 1;
+    let mut predictor = PredictorConfig::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--mechanism" => mechanism = Some(args.next().ok_or("--mechanism needs a name")?),
             "--entries" => entries_spec = Some(args.next().ok_or("--entries needs a spec")?),
+            "--predictor" => {
+                let spec = args.next().ok_or("--predictor needs NAME[:SIZE]")?;
+                predictor = PredictorConfig::parse(&spec).map_err(|e| e.to_string())?;
+            }
             "--jobs" => {
                 jobs = args
                     .next()
@@ -260,11 +297,12 @@ fn run_sweep(mut args: std::env::Args) -> Result<(), String> {
     let grid: Vec<Job> = entries
         .iter()
         .map(|&e| {
-            mechanism_by_name(&name, e)?
-                .map(|m| Job::new(m, cfg.clone()))
-                .ok_or_else(|| "the speculative machine has no sweep support yet".to_string())
+            Ok(Job::new(
+                mechanism_by_name(&name, e, predictor)?,
+                cfg.clone(),
+            ))
         })
-        .collect::<Result<_, _>>()?;
+        .collect::<Result<_, String>>()?;
 
     let engine = SweepEngine::livermore().with_workers(jobs);
     let report = engine.run_grid(&grid).map_err(|e| e.to_string())?;
@@ -286,6 +324,15 @@ fn run_sweep(mut args: std::env::Args) -> Result<(), String> {
             j.speedup,
             j.issue_rate,
         );
+        if let Some(b) = &j.branch {
+            println!(
+                "          branch: {} predicted, {} mispredicted ({:.3} MPKI), {} repair cycles",
+                b.predicts,
+                b.mispredicts,
+                b.mpki(j.instructions),
+                b.flush_cycles
+            );
+        }
     }
     let s = &report.stats;
     println!(
@@ -325,10 +372,7 @@ fn run_trace(mut args: std::env::Args) -> Result<(), String> {
     };
 
     let cfg = MachineConfig::paper();
-    let sim: Box<dyn IssueSimulator> = match mechanism_by_name(&name, entries)? {
-        Some(m) => m.build(&cfg),
-        None => Box::new(SpecRuu::new(cfg.clone(), entries, Bypass::Full)),
-    };
+    let sim = mechanism_by_name(&name, entries, PredictorConfig::default())?.build(&cfg);
 
     let mut trace = ChromeTraceObserver::default();
     let mut acct = CycleAccountant::default();
@@ -360,6 +404,144 @@ fn run_trace(mut args: std::env::Args) -> Result<(), String> {
     Ok(())
 }
 
+/// CBP-style trace-driven predictor evaluation: replays the golden
+/// `ruu::exec` branch stream of each selected workload through each
+/// selected predictor (plus a 64-set/4-way BTB), reporting accuracy,
+/// MPKI, BTB hit rate, and — for a single workload — the worst sites.
+fn run_cbp(mut args: std::env::Args) -> Result<(), String> {
+    let mut predictors: Vec<PredictorConfig> = Vec::new();
+    let mut sel: Option<String> = None;
+    let mut json = false;
+    let mut top: usize = 3;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--predictor" => {
+                let spec = args.next().ok_or("--predictor needs NAME[:SIZE]")?;
+                predictors.push(PredictorConfig::parse(&spec).map_err(|e| e.to_string())?);
+            }
+            "--loop" => sel = Some(args.next().ok_or("--loop needs a workload name")?),
+            "--all-loops" => sel = Some("all".to_string()),
+            "--json" => json = true,
+            "--top" => {
+                top = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--top needs a number")?;
+            }
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    if predictors.is_empty() {
+        predictors = PredictorConfig::zoo();
+    }
+    let suite = workloads(sel.as_deref().unwrap_or("all"))?;
+
+    // Extract each workload's branch stream once; every predictor
+    // replays the same events.
+    let mut streams = Vec::new();
+    for w in &suite {
+        let trace = w.golden_trace().map_err(|e| format!("{}: {e}", w.name))?;
+        streams.push((w.name, BranchStream::from_trace(&trace)));
+    }
+
+    // Per predictor: fresh state per workload (CBP convention — traces
+    // are independent), totals absorbed across the suite.
+    let mut rows: Vec<(PredictorConfig, CbpResult, Vec<CbpResult>)> = Vec::new();
+    for cfg in &predictors {
+        let mut total: Option<CbpResult> = None;
+        let mut per_loop = Vec::new();
+        for (_, stream) in &streams {
+            let mut p = cfg.build();
+            let mut btb = Btb::new(64, 4);
+            let r = evaluate_with_btb(stream, p.as_mut(), &mut btb);
+            match &mut total {
+                Some(t) => t.absorb(&r),
+                None => total = Some(r.clone()),
+            }
+            per_loop.push(r);
+        }
+        let total = total.ok_or("cbp needs at least one workload")?;
+        rows.push((*cfg, total, per_loop));
+    }
+
+    if json {
+        let mut jw = JsonWriter::new();
+        jw.begin_object();
+        jw.key("workloads").begin_array();
+        for (name, _) in &streams {
+            jw.string(name);
+        }
+        jw.end_array();
+        jw.key("predictors").begin_array();
+        for (cfg, total, per_loop) in &rows {
+            jw.begin_object();
+            jw.key("predictor").string(&cfg.to_string());
+            jw.key("instructions").u64(total.instructions);
+            jw.key("cond_branches").u64(total.cond_branches);
+            jw.key("mispredicts").u64(total.mispredicts);
+            jw.key("accuracy").f64(total.accuracy());
+            jw.key("mpki").f64(total.mpki());
+            if let Some(b) = &total.btb {
+                jw.key("btb_hit_rate").f64(b.hit_rate());
+            }
+            jw.key("per_loop").begin_array();
+            for ((name, _), r) in streams.iter().zip(per_loop) {
+                jw.begin_object();
+                jw.key("loop").string(name);
+                jw.key("cond_branches").u64(r.cond_branches);
+                jw.key("mispredicts").u64(r.mispredicts);
+                jw.key("accuracy").f64(r.accuracy());
+                jw.key("mpki").f64(r.mpki());
+                jw.end_object();
+            }
+            jw.end_array();
+            jw.end_object();
+        }
+        jw.end_array();
+        jw.end_object();
+        println!("{}", jw.finish());
+        return Ok(());
+    }
+
+    println!(
+        "| {:<14} | {:>8} | {:>8} | {:>8} | {:>7} | {:>7} |",
+        "predictor", "cond br", "miss", "accuracy", "MPKI", "BTB hit"
+    );
+    for (cfg, total, _) in &rows {
+        println!(
+            "| {:<14} | {:>8} | {:>8} | {:>7.2}% | {:>7.3} | {:>6.1}% |",
+            cfg.to_string(),
+            total.cond_branches,
+            total.mispredicts,
+            100.0 * total.accuracy(),
+            total.mpki(),
+            100.0 * total.btb.as_ref().map_or(1.0, BtbStats::hit_rate),
+        );
+    }
+    if streams.len() == 1 && top > 0 {
+        for (cfg, total, _) in &rows {
+            let worst = total.top_offenders(top);
+            if worst.iter().all(|s| s.mispredicted == 0) {
+                continue;
+            }
+            println!("worst sites for {cfg}:");
+            for s in worst {
+                println!(
+                    "  pc {:>4}: {} executed, {} taken, {} mispredicted",
+                    s.pc, s.executed, s.taken, s.mispredicted
+                );
+            }
+        }
+    }
+    println!(
+        "cbp: {} predictor(s) x {} workload(s), {} instructions replayed",
+        rows.len(),
+        streams.len(),
+        rows.first().map_or(0, |(_, t, _)| t.instructions),
+    );
+    Ok(())
+}
+
 /// Workload selection shared by `lint` and `analyze`: `--all-loops` or a
 /// positional workload name / `.s` file (default: all loops).
 fn select_workloads(
@@ -387,14 +569,48 @@ fn select_workloads(
 /// Errors are always fatal; `--deny-warnings` makes warnings fatal too.
 fn run_lint(mut args: std::env::Args) -> Result<(), String> {
     let mut deny_warnings = false;
+    let mut branch_view = false;
     let suite = select_workloads(&mut args, &mut |arg| {
-        Ok(if arg == "--deny-warnings" {
-            deny_warnings = true;
-            true
-        } else {
-            false
+        Ok(match arg {
+            "--deny-warnings" => {
+                deny_warnings = true;
+                true
+            }
+            "--branch-sites" => {
+                branch_view = true;
+                true
+            }
+            _ => false,
         })
     })?;
+
+    if branch_view {
+        // Static branch-site census: the upper bound on the per-site
+        // tables the dynamic `cbp` replay can produce.
+        println!(
+            "| {:<8} | {:>5} | {:>4} | {:>6} | {:>8} | {:>11} |",
+            "loop", "sites", "cond", "uncond", "backward", "unreachable"
+        );
+        let mut total = 0usize;
+        for w in &suite {
+            let c = branch_sites(&w.program);
+            total += c.sites.len();
+            println!(
+                "| {:<8} | {:>5} | {:>4} | {:>6} | {:>8} | {:>11} |",
+                w.name,
+                c.sites.len(),
+                c.conditional(),
+                c.unconditional(),
+                c.backward(),
+                c.unreachable(),
+            );
+        }
+        println!(
+            "branch-sites: {} workload(s), {total} site(s) total",
+            suite.len()
+        );
+        return Ok(());
+    }
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
@@ -466,8 +682,7 @@ fn run_analyze(mut args: std::env::Args) -> Result<(), String> {
         })
     })?;
     let cfg = MachineConfig::paper();
-    let mechanism = mechanism_by_name(&name, entries)?
-        .ok_or_else(|| "analyze does not support the speculative machine".to_string())?;
+    let mechanism = mechanism_by_name(&name, entries, PredictorConfig::default())?;
 
     println!(
         "| {:<8} | {:>12} | {:>10} | {:>10} | {:>10} | {:>10} |",
@@ -522,6 +737,12 @@ fn run() -> Result<(), String> {
         args.next(); // "trace"
         return run_trace(args);
     }
+    if std::env::args().nth(1).as_deref() == Some("cbp") {
+        let mut args = std::env::args();
+        args.next(); // program name
+        args.next(); // "cbp"
+        return run_cbp(args);
+    }
     if std::env::args().nth(1).as_deref() == Some("lint") {
         let mut args = std::env::args();
         args.next(); // program name
@@ -541,7 +762,7 @@ fn run() -> Result<(), String> {
     let suite = workloads(&opts.workload)?;
 
     let e = opts.entries;
-    let mechanism = mechanism_by_name(&opts.mechanism, e)?;
+    let mechanism = mechanism_by_name(&opts.mechanism, e, opts.predictor)?;
 
     println!(
         "| {:<8} | {:>12} | {:>10} | {:>6} |",
@@ -550,26 +771,13 @@ fn run() -> Result<(), String> {
     let mut total_i = 0u64;
     let mut total_c = 0u64;
     for w in &suite {
-        let (insts, cycles) = match &mechanism {
-            Some(m) => {
-                let sim = m.build(&cfg);
-                let r = sim
-                    .run(&w.program, w.memory.clone(), w.inst_limit)
-                    .map_err(|e| format!("{}: {e}", w.name))?;
-                w.verify(&r.memory)
-                    .map_err(|e| format!("{}: {e}", w.name))?;
-                (r.instructions, r.cycles)
-            }
-            None => {
-                let mut pred: Box<dyn Predictor> = Box::new(TwoBit::default());
-                let r = SpecRuu::new(cfg.clone(), e, Bypass::Full)
-                    .run(&w.program, w.memory.clone(), w.inst_limit, pred.as_mut())
-                    .map_err(|e| format!("{}: {e}", w.name))?;
-                w.verify(&r.run.memory)
-                    .map_err(|e| format!("{}: {e}", w.name))?;
-                (r.run.instructions, r.run.cycles)
-            }
-        };
+        let sim = mechanism.build(&cfg);
+        let r = sim
+            .run(&w.program, w.memory.clone(), w.inst_limit)
+            .map_err(|e| format!("{}: {e}", w.name))?;
+        w.verify(&r.memory)
+            .map_err(|e| format!("{}: {e}", w.name))?;
+        let (insts, cycles) = (r.instructions, r.cycles);
         total_i += insts;
         total_c += cycles;
         println!(

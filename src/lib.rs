@@ -7,6 +7,8 @@
 //! * [`exec`] — the golden architectural interpreter;
 //! * [`workloads`] — Lawrence Livermore loops 1–14 and synthetic programs;
 //! * [`sim`] — the timing-simulation substrate;
+//! * [`predict`] — the branch-prediction subsystem: predictor zoo, BTB,
+//!   and the trace-driven CBP evaluation harness;
 //! * [`issue`] — the issue mechanisms (simple, Tomasulo, tag unit, RS pool,
 //!   RSTU, RUU), unified behind the [`issue::IssueSimulator`] trait;
 //! * [`precise`] — precise-interrupt machinery and the speculation
@@ -22,5 +24,6 @@ pub use ruu_exec as exec;
 pub use ruu_isa as isa;
 pub use ruu_issue as issue;
 pub use ruu_precise as precise;
+pub use ruu_predict as predict;
 pub use ruu_sim_core as sim;
 pub use ruu_workloads as workloads;

@@ -14,8 +14,8 @@
 use proptest::prelude::*;
 
 use ruu::exec::ArchState;
-use ruu::issue::{Bypass, IssueSimulator, Mechanism, PreciseScheme, SpecRuu};
-use ruu::sim::{ChromeTraceObserver, CycleAccountant, MachineConfig, Tee};
+use ruu::issue::{Bypass, IssueSimulator, Mechanism, PreciseScheme, PredictorConfig, SpecRuu};
+use ruu::sim::{ChromeTraceObserver, CycleAccountant, FlushAccountant, MachineConfig, Tee};
 use ruu::workloads::livermore;
 use ruu::workloads::synth::{random_program, SynthConfig};
 
@@ -50,6 +50,21 @@ fn all_simulators(cfg: &MachineConfig, entries: usize) -> Vec<(String, Box<dyn I
         "spec-ruu".to_string(),
         Box::new(SpecRuu::new(cfg.clone(), entries, Bypass::Full)),
     ));
+    // The speculative machine again, under history-based predictors: the
+    // accounting identity must hold for every predictor choice, since
+    // mispredict-repair stalls are just relabelled dead cycles.
+    for predictor in [
+        PredictorConfig::Btfn,
+        PredictorConfig::Gshare { entries: 1024 },
+        PredictorConfig::Tage { entries: 512 },
+    ] {
+        let m = Mechanism::SpecRuu {
+            entries,
+            bypass: Bypass::Full,
+            predictor,
+        };
+        sims.push((m.to_string(), m.build(cfg)));
+    }
     sims
 }
 
@@ -72,6 +87,41 @@ fn identity_holds_for_every_mechanism_on_every_livermore_loop() {
                 .unwrap_or_else(|e| panic!("{name} wrong result on {}: {e}", w.name));
             acct.verify(r.cycles)
                 .unwrap_or_else(|v| panic!("{name} on {}: {v}", w.name));
+        }
+    }
+}
+
+#[test]
+fn every_flush_is_an_attributed_misprediction() {
+    // Flush accounting: on every loop, under every predictor in the zoo,
+    // the speculative machine's flush count equals its misprediction
+    // count, and every flush charges exactly `penalty + 1` cycles of
+    // mispredict-repair stall (the squash cycle plus the redirect
+    // penalty). An unattributed flush — or a repair window of the wrong
+    // width — fails here.
+    let cfg = MachineConfig::paper();
+    for w in livermore::all() {
+        for predictor in PredictorConfig::zoo() {
+            let m = Mechanism::SpecRuu {
+                entries: 15,
+                bypass: Bypass::Full,
+                predictor,
+            };
+            let sim = m.build(&cfg);
+            let mut acct = FlushAccountant::default();
+            let r = sim
+                .run_observed(
+                    ArchState::new(),
+                    w.memory.clone(),
+                    &w.program,
+                    w.inst_limit,
+                    &mut acct,
+                )
+                .unwrap_or_else(|e| panic!("{m} failed on {}: {e}", w.name));
+            w.verify(&r.memory)
+                .unwrap_or_else(|e| panic!("{m} wrong result on {}: {e}", w.name));
+            acct.verify(r.stats.mispredicted_branches, cfg.mispredict_penalty)
+                .unwrap_or_else(|v| panic!("{m} on {}: {v}", w.name));
         }
     }
 }

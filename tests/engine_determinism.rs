@@ -62,6 +62,51 @@ fn parallel_grid_is_bit_identical_to_serial_grid() {
     }
 }
 
+/// The speculative machine on the engine, once per zoo predictor: worker
+/// count must not change a single number, including the per-job branch
+/// summary (predicts, mispredicts, repair cycles). Branch-history state
+/// lives inside each job's own predictor instance, so cross-thread
+/// scheduling has nothing to leak.
+#[test]
+fn speculative_grid_is_deterministic_for_every_predictor() {
+    use ruu::issue::PredictorConfig;
+    let cfg = MachineConfig::paper();
+    let jobs: Vec<Job> = PredictorConfig::zoo()
+        .into_iter()
+        .map(|predictor| {
+            Job::new(
+                Mechanism::SpecRuu {
+                    entries: 15,
+                    bypass: Bypass::Full,
+                    predictor,
+                },
+                cfg.clone(),
+            )
+        })
+        .collect();
+    let serial = SweepEngine::livermore()
+        .with_workers(1)
+        .run_grid(&jobs)
+        .expect("serial grid runs");
+    let parallel = SweepEngine::livermore()
+        .with_workers(4)
+        .run_grid(&jobs)
+        .expect("parallel grid runs");
+    assert_eq!(serial.jobs.len(), parallel.jobs.len());
+    for (s, p) in serial.jobs.iter().zip(&parallel.jobs) {
+        assert_eq!(s.label, p.label);
+        assert_eq!(s.cycles, p.cycles, "{}", s.label);
+        assert_eq!(s.instructions, p.instructions, "{}", s.label);
+        assert_eq!(s.speedup.to_bits(), p.speedup.to_bits(), "{}", s.label);
+        let (sb, pb) = (
+            s.branch.expect("speculative job has branch stats"),
+            p.branch.expect("speculative job has branch stats"),
+        );
+        assert_eq!(sb, pb, "{}", s.label);
+        assert!(sb.predicts > 0, "{}: predictor never consulted", s.label);
+    }
+}
+
 /// The engine-backed sweep must reproduce the legacy serial sweep loop
 /// (`ruu_bench::harness::sweep_serial`) exactly. This pins the API
 /// redesign to the old behaviour: same suite order, same aggregation,
