@@ -3,9 +3,9 @@
 //!
 //! Run with `cargo bench -p ruu-bench --bench table1`.
 
-use ruu_bench::{baseline_rows, predictor_ablation, report, stall_breakdown};
-use ruu_issue::Mechanism;
-use ruu_sim_core::MachineConfig;
+use ruu_bench::{baseline_rows, cache_ablation, predictor_ablation, report, stall_breakdown};
+use ruu_issue::{Bypass, Mechanism, PredictorConfig};
+use ruu_sim_core::{DCacheConfig, MachineConfig};
 
 fn main() {
     let cfg = MachineConfig::paper();
@@ -28,6 +28,49 @@ fn main() {
             &ablation
         )
     );
+    println!();
+    let mechanisms = [
+        Mechanism::Simple,
+        Mechanism::InOrderPrecise {
+            scheme: ruu_issue::PreciseScheme::ReorderBufferBypass,
+            entries: 15,
+        },
+        Mechanism::Rstu { entries: 15 },
+        Mechanism::Ruu {
+            entries: 15,
+            bypass: Bypass::Full,
+        },
+        Mechanism::SpecRuu {
+            entries: 15,
+            bypass: Bypass::Full,
+            predictor: PredictorConfig::default(),
+        },
+    ];
+    let dcaches: Vec<DCacheConfig> = ["64x2x4:5:1:4", "64x2x4:20:1:4"]
+        .iter()
+        .map(|s| DCacheConfig::parse(s).expect("ablation geometry"))
+        .collect();
+    let cache_rows = cache_ablation(&cfg, &mechanisms, &dcaches);
+    print!(
+        "{}",
+        report::format_cache_ablation(
+            "Data-cache ablation — suite totals, miss latency 5 vs 20 cycles",
+            &cache_rows
+        )
+    );
+    // The paper's motivating claim on a real memory path: sensitivity to
+    // miss latency (cycles at 20 over cycles at 5), lower is better.
+    let sensitivity: Vec<String> = cache_rows
+        .chunks(3)
+        .map(|g| {
+            format!(
+                "{} {:.3}x",
+                g[0].mechanism,
+                g[2].cycles as f64 / g[1].cycles as f64
+            )
+        })
+        .collect();
+    println!("miss-latency sensitivity: {}", sensitivity.join(", "));
     println!();
     println!(
         "Note: 'ours' runs hand-compiled kernels (DESIGN.md §1); absolute counts differ \

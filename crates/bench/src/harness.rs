@@ -20,7 +20,7 @@ use std::sync::OnceLock;
 use ruu_engine::{EngineError, EngineStats, Job, SweepEngine};
 use ruu_exec::{ArchState, ExecError};
 use ruu_issue::{Mechanism, SimError};
-use ruu_sim_core::{MachineConfig, StallHistogram};
+use ruu_sim_core::{DCacheConfig, MachineConfig, StallHistogram};
 use ruu_workloads::{livermore, VerifyError};
 
 /// A typed failure from a harness run.
@@ -486,6 +486,80 @@ pub fn try_predictor_ablation(
 #[must_use]
 pub fn predictor_ablation(config: &MachineConfig, entries: usize) -> Vec<PredictorAblationRow> {
     try_predictor_ablation(config, entries).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// One row of the data-cache ablation table: one mechanism under one
+/// data-cache timing model, suite totals.
+#[derive(Debug, Clone)]
+pub struct CacheAblationRow {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Cache model label (`perfect` or the canonical geometry spec).
+    pub dcache: String,
+    /// Total cycles over the suite.
+    pub cycles: u64,
+    /// Total instructions over the suite (the MPKI denominator).
+    pub instructions: u64,
+    /// Cycle ratio vs. the same mechanism under the perfect memory — the
+    /// price this mechanism pays for the real memory path.
+    pub slowdown: f64,
+    /// Speedup vs. the simple-issue baseline *under the same memory
+    /// model* (the engine memoizes the baseline per configuration).
+    pub speedup: f64,
+    /// Aggregate cache counters (`None` under the perfect memory).
+    pub cache: Option<ruu_engine::CacheSummary>,
+}
+
+/// Runs every `mechanism` under the perfect memory and then each finite
+/// cache model in `dcaches`, in one engine grid. Rows come back grouped
+/// by mechanism, perfect first, so each group's `slowdown` column reads
+/// as a degradation curve.
+///
+/// # Errors
+/// Propagates the first failing (mechanism, workload) unit.
+pub fn try_cache_ablation(
+    config: &MachineConfig,
+    mechanisms: &[Mechanism],
+    dcaches: &[DCacheConfig],
+) -> Result<Vec<CacheAblationRow>, HarnessError> {
+    let mut variants = vec![DCacheConfig::Perfect];
+    variants.extend(dcaches.iter().copied());
+    let jobs: Vec<Job> = mechanisms
+        .iter()
+        .flat_map(|&m| {
+            variants
+                .iter()
+                .map(move |&dc| Job::new(m, config.clone().with_dcache(dc)))
+        })
+        .collect();
+    let report = engine().run_grid(&jobs)?;
+    let mut rows = Vec::new();
+    for (mi, m) in mechanisms.iter().enumerate() {
+        let base = report.jobs[mi * variants.len()].cycles;
+        for (vi, dc) in variants.iter().enumerate() {
+            let j = &report.jobs[mi * variants.len() + vi];
+            rows.push(CacheAblationRow {
+                mechanism: m.to_string(),
+                dcache: dc.to_string(),
+                cycles: j.cycles,
+                instructions: j.instructions,
+                slowdown: j.cycles as f64 / base as f64,
+                speedup: j.speedup,
+                cache: j.cache,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Panicking shim over [`try_cache_ablation`].
+#[must_use]
+pub fn cache_ablation(
+    config: &MachineConfig,
+    mechanisms: &[Mechanism],
+    dcaches: &[DCacheConfig],
+) -> Vec<CacheAblationRow> {
+    try_cache_ablation(config, mechanisms, dcaches).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

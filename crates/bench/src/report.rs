@@ -1,7 +1,9 @@
 //! Table formatting for the bench targets: measured values printed next
 //! to the paper's published numbers.
 
-use crate::harness::{BaselineRow, PredictorAblationRow, StallBreakdownRow, SweepPoint};
+use crate::harness::{
+    BaselineRow, CacheAblationRow, PredictorAblationRow, StallBreakdownRow, SweepPoint,
+};
 use crate::paper;
 use ruu_sim_core::{StallHistogram, StallReason};
 
@@ -96,6 +98,48 @@ pub fn format_predictor_ablation(title: &str, rows: &[PredictorAblationRow]) -> 
             r.flush_cycles,
             r.cycles,
             r.speedup,
+        );
+    }
+    out
+}
+
+/// Formats the data-cache ablation table: per mechanism, the perfect
+/// memory followed by each finite cache model, with the cycle price
+/// (`slowdown`) each mechanism pays for the real memory path.
+#[must_use]
+pub fn format_cache_ablation(title: &str, rows: &[CacheAblationRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}");
+    let _ = writeln!(
+        out,
+        "| Mechanism | dcache | cycles | slowdown | speedup | hit rate | MPKI |"
+    );
+    let _ = writeln!(
+        out,
+        "|-----------|--------|-------:|---------:|--------:|---------:|-----:|"
+    );
+    let mut last = "";
+    for r in rows {
+        let label = if r.mechanism == last {
+            ""
+        } else {
+            &r.mechanism
+        };
+        last = &r.mechanism;
+        let (hit_rate, mpki) = r.cache.map_or_else(
+            || ("-".to_string(), "-".to_string()),
+            |c| {
+                (
+                    format!("{:.1}%", 100.0 * c.hit_rate()),
+                    format!("{:.1}", c.mpki(r.instructions.max(1))),
+                )
+            },
+        );
+        let _ = writeln!(
+            out,
+            "| {:<18} | {:<14} | {:>7} | {:>7.3}x | {:>7.3} | {hit_rate:>8} | {mpki:>4} |",
+            label, r.dcache, r.cycles, r.slowdown, r.speedup,
         );
     }
     out

@@ -174,6 +174,40 @@ impl BranchSummary {
     }
 }
 
+/// Data-cache totals for one job over the suite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSummary {
+    /// Loads that consulted the cache.
+    pub accesses: u64,
+    /// Accesses satisfied by a resident line (including merges into an
+    /// outstanding fill).
+    pub hits: u64,
+    /// Accesses that started a fresh line fill.
+    pub misses: u64,
+}
+
+impl CacheSummary {
+    /// Misses per 1000 instructions.
+    #[must_use]
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Fraction of accesses that hit (`0.0` for an idle cache).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
 /// Aggregated results of one [`Job`] over the suite.
 #[derive(Debug, Clone)]
 pub struct JobResult {
@@ -210,6 +244,10 @@ pub struct JobResult {
     /// Branch-prediction totals, for jobs whose mechanism speculates
     /// (`None` for every non-speculative mechanism).
     pub branch: Option<BranchSummary>,
+    /// Data-cache totals, for jobs whose configuration carries a finite
+    /// `DCacheConfig` (`None` under the perfect default, whose loads
+    /// never consult a cache).
+    pub cache: Option<CacheSummary>,
 }
 
 impl JobResult {
@@ -288,6 +326,15 @@ impl SweepReport {
                 w.key("mispredicts").u64(b.mispredicts);
                 w.key("mpki").f64(b.mpki(j.instructions));
                 w.key("flush_cycles").u64(b.flush_cycles);
+                w.end_object();
+            }
+            if let Some(c) = j.cache {
+                w.key("cache").begin_object();
+                w.key("accesses").u64(c.accesses);
+                w.key("hits").u64(c.hits);
+                w.key("misses").u64(c.misses);
+                w.key("hit_rate").f64(c.hit_rate());
+                w.key("mpki").f64(c.mpki(j.instructions));
                 w.end_object();
             }
             w.end_object();
@@ -410,7 +457,7 @@ impl SweepEngine {
         mechanism: Mechanism,
         config: &MachineConfig,
         w: &Workload,
-    ) -> Result<(u64, u64, StallHistogram, BranchSummary), EngineError> {
+    ) -> Result<(u64, u64, StallHistogram, BranchSummary, CacheSummary), EngineError> {
         let sim = mechanism.build(config);
         let mut hist = StallHistogram::default();
         let r = sim
@@ -436,7 +483,12 @@ impl SweepEngine {
             mispredicts: r.stats.mispredicted_branches,
             flush_cycles: r.stats.stalls(StallReason::MispredictRepair),
         };
-        Ok((r.cycles, r.instructions, hist, branch))
+        let cache = CacheSummary {
+            accesses: r.stats.dcache_accesses,
+            hits: r.stats.dcache_hits,
+            misses: r.stats.dcache_misses,
+        };
+        Ok((r.cycles, r.instructions, hist, branch, cache))
     }
 
     /// Fills the baseline cache for every configuration in `configs`
@@ -573,14 +625,18 @@ impl SweepEngine {
             let mut instructions = 0u64;
             let mut stalls = StallHistogram::default();
             let mut branch = BranchSummary::default();
+            let mut dcache = CacheSummary::default();
             for out in &outs[ji * per_job..(ji + 1) * per_job] {
-                let (c, n, h, b) = out.as_ref().map_err(Clone::clone)?;
+                let (c, n, h, b, dc) = out.as_ref().map_err(Clone::clone)?;
                 cycles += c;
                 instructions += n;
                 stalls.absorb(h);
                 branch.predicts += b.predicts;
                 branch.mispredicts += b.mispredicts;
                 branch.flush_cycles += b.flush_cycles;
+                dcache.accesses += dc.accesses;
+                dcache.hits += dc.hits;
+                dcache.misses += dc.misses;
             }
             let baseline_cycles = *cache
                 .get(&job.config)
@@ -603,6 +659,7 @@ impl SweepEngine {
                 efficiency: dataflow_bound as f64 / cycles as f64,
                 stalls: stalls.rows(),
                 branch: job.mechanism.predictor().map(|_| branch),
+                cache: (!job.config.dcache.is_perfect()).then_some(dcache),
             });
         }
         drop(cache);
@@ -643,7 +700,7 @@ impl SweepEngine {
         let bounds = self.dataflow_bounds(config)?;
         let outs = self.run_pool(self.suite.len(), |i| {
             let w = &self.suite[i];
-            Self::run_unit(&label, mechanism, config, w).map(|(c, n, _, _)| (w.name, c, n))
+            Self::run_unit(&label, mechanism, config, w).map(|(c, n, _, _, _)| (w.name, c, n))
         });
         outs.into_iter()
             .zip(bounds.iter())
@@ -862,6 +919,40 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert_eq!(json.matches("\"branch\":").count(), 1);
+    }
+
+    #[test]
+    fn finite_dcache_jobs_report_cache_stats() {
+        use ruu_sim_core::DCacheConfig;
+        let engine = SweepEngine::new(mini_suite()).with_workers(2);
+        let finite = MachineConfig::paper()
+            .with_dcache(DCacheConfig::parse("16x2x2:20").expect("geometry parses"));
+        let jobs = vec![ruu_job(8), Job::new(Mechanism::Simple, finite)];
+        let report = engine.run_grid(&jobs).expect("grid");
+        assert!(
+            report.jobs[0].cache.is_none(),
+            "perfect-memory jobs carry no cache stats"
+        );
+        let c = report.jobs[1].cache.expect("finite-dcache job has stats");
+        assert!(c.accesses > 0, "the mini kernels load every iteration");
+        assert_eq!(c.hits + c.misses, c.accesses);
+        assert!(c.misses > 0, "a cold cache must miss at least once");
+        assert!((0.0..=1.0).contains(&c.hit_rate()));
+        assert!(c.mpki(report.jobs[1].instructions) > 0.0);
+
+        // The JSON report carries the `cache` object for the finite job
+        // only.
+        let json = report.to_json();
+        for key in [
+            "\"cache\":",
+            "\"accesses\":",
+            "\"hits\":",
+            "\"misses\":",
+            "\"hit_rate\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches("\"cache\":").count(), 1);
     }
 
     #[test]

@@ -37,6 +37,6 @@ mod state;
 mod trace;
 
 pub use executor::{golden_state_at, ExecError, ExecSummary, Executor, StepOutcome};
-pub use memory::Memory;
+pub use memory::{FillWraps, Memory};
 pub use state::{ArchState, RegValues};
 pub use trace::{InstMix, Trace, TraceEvent};

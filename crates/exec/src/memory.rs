@@ -79,10 +79,39 @@ impl Memory {
 
     /// Fills `len` consecutive words starting at `base` by evaluating `f`
     /// on each index (workload data initialisation).
+    ///
+    /// Addresses are masked like every other access, so a span that runs
+    /// past capacity silently wraps and overwrites low memory. Layout
+    /// code should prefer [`Memory::try_fill`], which rejects that.
     pub fn fill_with(&mut self, base: u64, len: u64, mut f: impl FnMut(u64) -> u64) {
         for i in 0..len {
             self.write(base + i, f(i));
         }
+    }
+
+    /// Like [`Memory::fill_with`], but refuses a span that would wrap
+    /// past capacity and alias earlier words.
+    ///
+    /// # Errors
+    /// Returns [`FillWraps`] — and writes nothing — if `base + len`
+    /// exceeds the capacity (including `base` itself out of range, whose
+    /// masked writes would land elsewhere).
+    pub fn try_fill(
+        &mut self,
+        base: u64,
+        len: u64,
+        f: impl FnMut(u64) -> u64,
+    ) -> Result<(), FillWraps> {
+        let capacity = self.words.len() as u64;
+        if base.checked_add(len).is_none_or(|end| end > capacity) {
+            return Err(FillWraps {
+                base,
+                len,
+                capacity,
+            });
+        }
+        self.fill_with(base, len, f);
+        Ok(())
     }
 
     /// Iterator over `(address, value)` for all non-zero words — used to
@@ -102,6 +131,30 @@ impl fmt::Debug for Memory {
         write!(f, "Memory({} words, {nz} nonzero)", self.words.len())
     }
 }
+
+/// A [`Memory::try_fill`] span wrapped past capacity: writing it with
+/// masked addresses would alias earlier words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillWraps {
+    /// First word of the rejected span.
+    pub base: u64,
+    /// Length of the rejected span, in words.
+    pub len: u64,
+    /// Memory capacity, in words.
+    pub capacity: u64,
+}
+
+impl fmt::Display for FillWraps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "span of {} words at {} wraps past the {}-word capacity and would alias low memory",
+            self.len, self.base, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for FillWraps {}
 
 #[cfg(test)]
 mod tests {
@@ -141,6 +194,34 @@ mod tests {
         m.fill_with(4, 3, |i| i + 1);
         let nz: Vec<_> = m.nonzero().collect();
         assert_eq!(nz, vec![(4, 1), (5, 2), (6, 3)]);
+    }
+
+    #[test]
+    fn try_fill_rejects_wrapping_spans() {
+        let mut m = Memory::new(16);
+        // In-range span succeeds, including one that ends exactly at
+        // capacity.
+        assert_eq!(m.try_fill(12, 4, |i| i + 1), Ok(()));
+        assert_eq!(m.read(15), 4);
+        // A span past capacity is refused and writes nothing...
+        let err = m.try_fill(14, 4, |_| 99).unwrap_err();
+        assert_eq!(
+            err,
+            FillWraps {
+                base: 14,
+                len: 4,
+                capacity: 16
+            }
+        );
+        assert!(err.to_string().contains("wraps past the 16-word capacity"));
+        assert_eq!(m.read(0), 0, "no wrapped write corrupted low memory");
+        assert_eq!(m.read(14), 3, "no partial write before the check");
+        // ...as is a base already out of range, and u64 overflow.
+        assert!(m.try_fill(16, 1, |_| 1).is_err());
+        assert!(m.try_fill(u64::MAX, 2, |_| 1).is_err());
+        // `fill_with` keeps its documented wrap-through behaviour.
+        m.fill_with(14, 4, |i| 100 + i);
+        assert_eq!(m.read(1), 103);
     }
 
     #[test]

@@ -33,10 +33,10 @@
 //! small extension of [`crate::SimpleIssue`].
 
 use ruu_exec::{ArchState, Memory};
-use ruu_isa::{semantics, Program, NUM_REGS};
+use ruu_isa::{semantics, FuClass, Program, NUM_REGS};
 use ruu_sim_core::{
-    FuPool, MachineConfig, NullObserver, PipelineObserver, RunResult, RunStats, SlotReservation,
-    StallReason,
+    DCache, FuPool, MachineConfig, NullObserver, PipelineObserver, RunResult, RunStats,
+    SlotReservation, StallReason,
 };
 
 use crate::common::{charge_frontend_stall, end_cycle, FetchSlot, Frontend, Operand, Tag};
@@ -162,6 +162,11 @@ impl InOrderPrecise {
         let mut reg_ready = [0u64; NUM_REGS];
         let mut fus = FuPool::new();
         let mut bus = SlotReservation::new(cfg.result_buses);
+        let mut dcache = DCache::new(
+            &cfg.dcache,
+            cfg.fu_latency(FuClass::Memory),
+            mem.len() as u64,
+        );
         let mut stats = RunStats::default();
         let mut cycle: u64 = 0;
         let mut issued: u64 = 0;
@@ -293,7 +298,25 @@ impl InOrderPrecise {
                         end_cycle(obs, &mut stats, &mut cycle, occ);
                         continue;
                     }
-                    let lat = cfg.fu_latency(fu);
+                    // A load's latency comes from the data cache (the
+                    // perfect cache answers with the fixed memory-unit
+                    // latency); everything else runs at its unit's rate.
+                    let mut lat = cfg.fu_latency(fu);
+                    let mut load_ea = None;
+                    if inst.is_load() {
+                        let s1 = inst.src1.map_or(0, |r| state.reg(r));
+                        let ea = mem.canonicalize(semantics::effective_address(s1, inst.imm));
+                        let Some(l) = dcache.plan(ea, cycle).latency() else {
+                            // every outstanding-miss register busy: the
+                            // blocking decode stage stalls in place
+                            stats.stall(StallReason::MemStall);
+                            obs.stall(cycle, StallReason::MemStall);
+                            end_cycle(obs, &mut stats, &mut cycle, occ);
+                            continue;
+                        };
+                        lat = l;
+                        load_ea = Some(ea);
+                    }
                     let needs_bus = inst.dst.is_some();
                     if needs_bus && !bus.available(cycle + lat) {
                         stats.stall(StallReason::BusConflict);
@@ -315,6 +338,12 @@ impl InOrderPrecise {
                     fus.accept(fu, cycle);
                     if needs_bus {
                         bus.try_reserve(cycle + lat);
+                    }
+                    if let Some(ea) = load_ea {
+                        if dcache.is_finite() {
+                            let plan = dcache.access(ea, cycle);
+                            obs.mem_access(cycle, ea, plan.is_hit(), lat);
+                        }
                     }
                     let complete = cycle + lat;
                     let commit = complete.max(last_commit + 1);
@@ -358,6 +387,10 @@ impl InOrderPrecise {
 
         state.pc = frontend.pc();
         debug_assert_eq!(cycle, cycle.max(last_write));
+        let cs = dcache.stats();
+        stats.dcache_accesses = cs.accesses;
+        stats.dcache_hits = cs.hits;
+        stats.dcache_misses = cs.misses;
         Ok(RunResult {
             cycles: cycle,
             instructions: issued,

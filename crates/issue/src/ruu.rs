@@ -28,8 +28,8 @@ use std::collections::{BTreeMap, VecDeque};
 use ruu_exec::{ArchState, Memory};
 use ruu_isa::{semantics, FuClass, Inst, Program, Reg, NUM_REGS};
 use ruu_sim_core::{
-    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, NullObserver, PipelineObserver,
-    RunResult, RunStats, SlotReservation, StallReason,
+    DCache, FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, NullObserver,
+    PipelineObserver, RunResult, RunStats, SlotReservation, StallReason,
 };
 
 use crate::common::{Broadcasts, FetchSlot, Frontend, Operand, Tag};
@@ -349,6 +349,7 @@ struct Core<'a> {
     lr: LoadRegUnit,
     fus: FuPool,
     bus: SlotReservation,
+    dcache: DCache,
     frontend: Frontend,
     broadcasts: Broadcasts,
     stats: RunStats,
@@ -372,6 +373,11 @@ impl<'a> Core<'a> {
         obs: &'a mut dyn PipelineObserver,
     ) -> Self {
         let cfg = &ruu.config;
+        let dcache = DCache::new(
+            &cfg.dcache,
+            cfg.fu_latency(FuClass::Memory),
+            mem.len() as u64,
+        );
         Core {
             cfg,
             program,
@@ -393,6 +399,7 @@ impl<'a> Core<'a> {
             lr: LoadRegUnit::new(cfg.load_registers),
             fus: FuPool::new(),
             bus: SlotReservation::new(cfg.result_buses),
+            dcache,
             broadcasts: Broadcasts::default(),
             stats: RunStats::default(),
             issued: 0,
@@ -638,13 +645,16 @@ impl<'a> Core<'a> {
             let e = &self.window[i];
             match e.mem_phase {
                 MemPhase::ToMemory => {
-                    let lat = self.cfg.fu_latency(FuClass::Memory);
+                    let ea = e.ea.expect("address generated");
+                    let plan = self.dcache.plan(ea, self.cycle);
+                    let Some(lat) = plan.latency() else {
+                        continue; // every outstanding-miss register busy: retry
+                    };
                     if self.fus.can_accept(FuClass::Memory, self.cycle)
                         && self.bus.available(self.cycle + lat)
                     {
                         self.fus.accept(FuClass::Memory, self.cycle);
                         self.bus.try_reserve(self.cycle + lat);
-                        let ea = e.ea.expect("address generated");
                         let v = self.mem.read(ea);
                         let e = &mut self.window[i];
                         e.result = Some(v);
@@ -652,6 +662,10 @@ impl<'a> Core<'a> {
                         self.note(|r| r.dispatched.push(seq));
                         self.obs
                             .dispatch(self.cycle, seq, FuClass::Memory, self.cycle + lat);
+                        if self.dcache.is_finite() {
+                            let plan = self.dcache.access(ea, self.cycle);
+                            self.obs.mem_access(self.cycle, ea, plan.is_hit(), lat);
+                        }
                         self.schedule(self.cycle + lat, Event::Finish(seq));
                         paths -= 1;
                     }
@@ -962,6 +976,10 @@ impl<'a> Core<'a> {
 
         let mut state = self.arch.clone();
         state.pc = self.frontend.pc();
+        let cs = self.dcache.stats();
+        self.stats.dcache_accesses = cs.accesses;
+        self.stats.dcache_hits = cs.hits;
+        self.stats.dcache_misses = cs.misses;
         Ok(RunOutcome::Completed(RunResult {
             cycles: self.cycle,
             instructions: self.issued,

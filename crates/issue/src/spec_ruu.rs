@@ -25,8 +25,8 @@ use std::collections::{BTreeMap, VecDeque};
 use ruu_exec::{ArchState, Memory};
 use ruu_isa::{semantics, FuClass, Inst, Opcode, Program, Reg, NUM_REGS};
 use ruu_sim_core::{
-    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, NullObserver, PipelineObserver,
-    RunResult, RunStats, SlotReservation, StallReason,
+    DCache, FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, NullObserver,
+    PipelineObserver, RunResult, RunStats, SlotReservation, StallReason,
 };
 
 use crate::common::{Broadcasts, Operand, Tag};
@@ -252,6 +252,7 @@ struct SCore<'a> {
     lr: LoadRegUnit,
     fus: FuPool,
     bus: SlotReservation,
+    dcache: DCache,
     broadcasts: Broadcasts,
     stats: RunStats,
     spec: SpecStats,
@@ -283,8 +284,14 @@ impl<'a> SCore<'a> {
         obs: &'a mut dyn PipelineObserver,
     ) -> Self {
         let pc = state.pc;
+        let cfg = &sim.config;
+        let dcache = DCache::new(
+            &cfg.dcache,
+            cfg.fu_latency(FuClass::Memory),
+            mem.len() as u64,
+        );
         SCore {
-            cfg: &sim.config,
+            cfg,
             program,
             bypass: sim.bypass,
             capacity: sim.entries,
@@ -304,6 +311,7 @@ impl<'a> SCore<'a> {
             lr: LoadRegUnit::new(sim.config.load_registers),
             fus: FuPool::new(),
             bus: SlotReservation::new(sim.config.result_buses),
+            dcache,
             broadcasts: Broadcasts::default(),
             stats: RunStats::default(),
             spec: SpecStats::default(),
@@ -508,19 +516,26 @@ impl<'a> SCore<'a> {
             let e = &self.window[i];
             match e.mem_phase {
                 MemPhase::ToMemory => {
-                    let lat = self.cfg.fu_latency(FuClass::Memory);
+                    let ea = e.ea.expect("address generated");
+                    let plan = self.dcache.plan(ea, self.cycle);
+                    let Some(lat) = plan.latency() else {
+                        continue; // every outstanding-miss register busy: retry
+                    };
                     if self.fus.can_accept(FuClass::Memory, self.cycle)
                         && self.bus.available(self.cycle + lat)
                     {
                         self.fus.accept(FuClass::Memory, self.cycle);
                         self.bus.try_reserve(self.cycle + lat);
-                        let ea = e.ea.expect("address generated");
                         let v = self.mem.read(ea);
                         let e = &mut self.window[i];
                         e.result = Some(v);
                         e.dispatched = true;
                         self.obs
                             .dispatch(self.cycle, seq, FuClass::Memory, self.cycle + lat);
+                        if self.dcache.is_finite() {
+                            let plan = self.dcache.access(ea, self.cycle);
+                            self.obs.mem_access(self.cycle, ea, plan.is_hit(), lat);
+                        }
                         self.schedule(self.cycle + lat, Event::Finish(seq));
                         paths -= 1;
                     }
@@ -923,6 +938,10 @@ impl<'a> SCore<'a> {
         }
         let mut state = self.arch.clone();
         state.pc = self.pc;
+        let cs = self.dcache.stats();
+        self.stats.dcache_accesses = cs.accesses;
+        self.stats.dcache_hits = cs.hits;
+        self.stats.dcache_misses = cs.misses;
         Ok(SpecRunResult {
             run: RunResult {
                 cycles: self.cycle,

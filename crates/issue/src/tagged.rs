@@ -31,8 +31,8 @@ use std::collections::{BTreeMap, VecDeque};
 use ruu_exec::{ArchState, Memory};
 use ruu_isa::{semantics, FuClass, Inst, Program, Reg, NUM_REGS};
 use ruu_sim_core::{
-    FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, NullObserver, PipelineObserver,
-    RunResult, RunStats, SlotReservation, StallReason,
+    DCache, FuPool, LoadRegUnit, LrOutcome, MachineConfig, MemOpKind, NullObserver,
+    PipelineObserver, RunResult, RunStats, SlotReservation, StallReason,
 };
 
 use crate::common::{Broadcasts, FetchSlot, Frontend, Operand, Tag};
@@ -238,6 +238,7 @@ struct TCore<'a> {
     lr: LoadRegUnit,
     fus: FuPool,
     bus: SlotReservation,
+    dcache: DCache,
     frontend: Frontend,
     broadcasts: Broadcasts,
     stats: RunStats,
@@ -260,8 +261,14 @@ impl<'a> TCore<'a> {
         limit: u64,
         obs: &'a mut dyn PipelineObserver,
     ) -> Self {
+        let cfg = &sim.config;
+        let dcache = DCache::new(
+            &cfg.dcache,
+            cfg.fu_latency(FuClass::Memory),
+            mem.len() as u64,
+        );
         TCore {
-            cfg: &sim.config,
+            cfg,
             program,
             kind: sim.kind,
             limit,
@@ -277,6 +284,7 @@ impl<'a> TCore<'a> {
             lr: LoadRegUnit::new(sim.config.load_registers),
             fus: FuPool::new(),
             bus: SlotReservation::new(sim.config.result_buses),
+            dcache,
             broadcasts: Broadcasts::default(),
             stats: RunStats::default(),
             obs,
@@ -526,19 +534,26 @@ impl<'a> TCore<'a> {
             let e = self.window.get(&seq).expect("candidate is live");
             match e.mem_phase {
                 MemPhase::ToMemory => {
-                    let lat = self.cfg.fu_latency(FuClass::Memory);
+                    let ea = e.ea.expect("address generated");
+                    let plan = self.dcache.plan(ea, self.cycle);
+                    let Some(lat) = plan.latency() else {
+                        continue; // every outstanding-miss register busy: retry
+                    };
                     if self.fus.can_accept(FuClass::Memory, self.cycle)
                         && self.bus.available(self.cycle + lat)
                     {
                         self.fus.accept(FuClass::Memory, self.cycle);
                         self.bus.try_reserve(self.cycle + lat);
-                        let ea = e.ea.expect("address generated");
                         let v = self.mem.read(ea);
                         let e = self.window.get_mut(&seq).expect("candidate is live");
                         e.result = Some(v);
                         e.dispatched = true;
                         self.obs
                             .dispatch(self.cycle, seq, FuClass::Memory, self.cycle + lat);
+                        if self.dcache.is_finite() {
+                            let plan = self.dcache.access(ea, self.cycle);
+                            self.obs.mem_access(self.cycle, ea, plan.is_hit(), lat);
+                        }
                         self.events_scheduled += 1;
                         self.events
                             .entry(self.cycle + lat)
@@ -767,6 +782,10 @@ impl<'a> TCore<'a> {
         }
         let mut state = self.arch.clone();
         state.pc = self.frontend.pc();
+        let cs = self.dcache.stats();
+        self.stats.dcache_accesses = cs.accesses;
+        self.stats.dcache_hits = cs.hits;
+        self.stats.dcache_misses = cs.misses;
         Ok(Some(RunResult {
             cycles: self.cycle,
             instructions: self.issued,

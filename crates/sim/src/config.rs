@@ -2,6 +2,8 @@
 
 use ruu_isa::FuClass;
 
+use crate::cache::DCacheConfig;
+
 /// Parameters of the model architecture (paper §2, DESIGN.md §3).
 ///
 /// The defaults reproduce the paper's machine: CRAY-1 functional-unit
@@ -59,6 +61,12 @@ pub struct MachineConfig {
     pub mispredict_penalty: u64,
     /// Data-memory size in 64-bit words (must be a power of two).
     pub memory_words: usize,
+    /// Data-cache timing model. [`DCacheConfig::Perfect`] (the default)
+    /// reproduces the paper's §2.2 idealization — a fixed memory latency,
+    /// no conflicts — bit-identically; a finite cache makes load latency
+    /// depend on locality. Timing-only: architectural values always come
+    /// from `Memory`.
+    pub dcache: DCacheConfig,
 }
 
 impl MachineConfig {
@@ -83,6 +91,7 @@ impl MachineConfig {
             spec_taken_bubble: 1,
             mispredict_penalty: 3,
             memory_words: 1 << 16,
+            dcache: DCacheConfig::Perfect,
         }
     }
 
@@ -177,6 +186,20 @@ impl MachineConfig {
         self.memory_words = words;
         self
     }
+
+    /// Returns a copy with a different data-cache timing model.
+    ///
+    /// # Panics
+    /// Panics if the config fails [`DCacheConfig::validate`] — the
+    /// builders validate where direct mutation cannot.
+    #[must_use]
+    pub fn with_dcache(mut self, dcache: DCacheConfig) -> Self {
+        if let Err(e) = dcache.validate() {
+            panic!("invalid dcache config: {e}");
+        }
+        self.dcache = dcache;
+        self
+    }
 }
 
 impl Default for MachineConfig {
@@ -215,5 +238,30 @@ mod tests {
     #[should_panic(expected = "counter width")]
     fn counter_bits_validated() {
         let _ = MachineConfig::paper().with_counter_bits(0);
+    }
+
+    #[test]
+    fn default_dcache_is_perfect() {
+        assert!(MachineConfig::paper().dcache.is_perfect());
+    }
+
+    #[test]
+    fn with_dcache_swaps_the_model() {
+        let dc = DCacheConfig::parse("64x4x4:20").unwrap();
+        let c = MachineConfig::paper().with_dcache(dc);
+        assert_eq!(c.dcache, dc);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid dcache config")]
+    fn with_dcache_validates() {
+        let _ = MachineConfig::paper().with_dcache(DCacheConfig::Cache {
+            sets: 3,
+            ways: 1,
+            line_words: 1,
+            hit_latency: 1,
+            miss_latency: 2,
+            mshrs: 1,
+        });
     }
 }

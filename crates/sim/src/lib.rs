@@ -12,6 +12,10 @@
 //! * [`LoadRegUnit`] — the *load registers* of paper §3.2.1.2: memory
 //!   disambiguation by exact address match, with store→load and load→load
 //!   data forwarding;
+//! * [`DCache`] / [`DCacheConfig`] — the data-cache timing model that
+//!   retires the §2.2 perfect-memory idealization: set-associative LRU
+//!   lookup with hit/miss latencies and bounded outstanding misses, with
+//!   a bit-identical `Perfect` default;
 //! * [`RunStats`] / [`RunResult`] — issue-rate accounting and stall
 //!   breakdowns common to every simulator;
 //! * [`PipelineObserver`] — per-cycle pipeline event hooks (fetch, issue,
@@ -20,6 +24,7 @@
 //!   implementations.
 
 mod bus;
+mod cache;
 mod config;
 mod fu;
 mod loadregs;
@@ -27,6 +32,7 @@ mod observe;
 mod stats;
 
 pub use bus::SlotReservation;
+pub use cache::{CachePlan, CacheStats, DCache, DCacheConfig, DCacheError};
 pub use config::MachineConfig;
 pub use fu::FuPool;
 pub use loadregs::{LoadRegUnit, LrOutcome, MemOpKind, OpId};

@@ -123,8 +123,13 @@ impl LoadRegUnit {
     /// Returns `None` if the operation needs a new entry but none is free;
     /// the caller must retry next cycle (issue is blocked, paper
     /// §3.2.1.2).
+    ///
+    /// # Panics
+    /// Panics if `op` was already processed — a duplicate would silently
+    /// corrupt the entry's pending-operation count, so the protocol check
+    /// is always on, not just in debug builds.
     pub fn process(&mut self, op: OpId, kind: MemOpKind, addr: u64) -> Option<LrOutcome> {
-        debug_assert!(
+        assert!(
             !self.op_entry.contains_key(&op),
             "op {op} processed twice by the load registers"
         );
@@ -175,13 +180,15 @@ impl LoadRegUnit {
     /// Returns the loads that were waiting on it; each receives `value`.
     ///
     /// # Panics
-    /// Panics if `provider` is not a live provider.
+    /// Panics if `provider` is not a live provider, or if its value was
+    /// already announced — waiters attached between the two announcements
+    /// would observe the wrong one, so the check is always on.
     pub fn provider_ready(&mut self, provider: OpId, value: u64) -> Vec<OpId> {
         let ps = self
             .providers
             .get_mut(&provider)
             .expect("provider_ready called for unknown provider");
-        debug_assert!(ps.value.is_none(), "provider {provider} announced twice");
+        assert!(ps.value.is_none(), "provider {provider} announced twice");
         ps.value = Some(value);
         std::mem::take(&mut ps.waiters)
     }
@@ -193,12 +200,18 @@ impl LoadRegUnit {
     /// (youngest first) so waiters disappear before their providers; `op`
     /// is also dropped from other providers' waiter lists. A no-op if
     /// `op` was never processed.
+    ///
+    /// # Panics
+    /// Panics if `op` still has unwoken waiters — squashing a provider
+    /// before its (younger) waiters is the out-of-order squash the
+    /// contract forbids, and would strand those waiters forever; the
+    /// check is always on.
     pub fn squash(&mut self, op: OpId) {
         let Some((slot, _)) = self.op_entry.remove(&op) else {
             return;
         };
         if let Some(ps) = self.providers.remove(&op) {
-            debug_assert!(
+            assert!(
                 ps.waiters.is_empty() || ps.value.is_some(),
                 "unwoken waiters of a squashed provider must be squashed too"
             );
@@ -391,10 +404,12 @@ mod tests {
     }
 
     /// Randomized protocol check: drive the unit with arbitrary
-    /// interleavings of processing, data arrival and retirement (stores
-    /// retiring in program order, as every precise machine does), and
-    /// assert every load observes exactly the value of the last earlier
-    /// store to its address — or initial memory if there is none.
+    /// interleavings of processing, data arrival, retirement (stores
+    /// retiring in program order, as every precise machine does) and
+    /// mispredict-style squashes of a youngest suffix of the in-flight
+    /// operations, and assert every surviving load observes exactly the
+    /// value of the last earlier *non-squashed* store to its address —
+    /// or initial memory if there is none.
     #[test]
     fn randomized_protocol_preserves_program_order_semantics() {
         use std::collections::HashMap;
@@ -407,6 +422,8 @@ mod tests {
             WaitingData(OpId),
             HasValue(u64),
             Retired,
+            /// Removed by a squash; excluded from program semantics.
+            Squashed,
         }
         let mut seed = 0x5eed_u64;
         let mut next = move || {
@@ -423,25 +440,29 @@ mod tests {
                 .map(|i| (next() % 2 == 0, next() % 3, 1000 + i as u64))
                 .collect();
             let initial = |addr: u64| 500 + addr;
-            // the value a load at position i must observe
-            let expected = |i: usize| -> u64 {
+            // the value a load at position i must observe, given which ops
+            // have been squashed out of the program so far
+            let expected = |i: usize, st: &[St]| -> u64 {
                 ops[..i]
                     .iter()
+                    .enumerate()
                     .rev()
-                    .find(|(st, a, _)| *st && *a == ops[i].1)
-                    .map_or(initial(ops[i].1), |(_, _, v)| *v)
+                    .find(|(j, (is_store, a, _))| {
+                        *is_store && *a == ops[i].1 && st[*j] != St::Squashed
+                    })
+                    .map_or(initial(ops[i].1), |(_, (_, _, v))| *v)
             };
             let mut st = vec![St::NotProcessed; n_ops];
             let mut mem: HashMap<u64, u64> = HashMap::new(); // applied at store retire
             let mut sampled: HashMap<usize, u64> = HashMap::new(); // ToMemory reads
             let mut processed = 0usize;
             let mut guard = 0;
-            while st.iter().any(|s| *s != St::Retired) {
+            while st.iter().any(|s| !matches!(s, St::Retired | St::Squashed)) {
                 guard += 1;
                 assert!(guard < 20_000, "driver wedged in round {round}");
-                match next() % 3 {
+                match next() % 8 {
                     // process the next op in program order
-                    0 if processed < n_ops => {
+                    0..=2 if processed < n_ops => {
                         let i = processed;
                         let (is_store, addr, _) = ops[i];
                         let kind = if is_store {
@@ -460,20 +481,25 @@ mod tests {
                                 // earlier same-address stores retired: the
                                 // memory sample is program-order correct.
                                 let v = mem.get(&addr).copied().unwrap_or(initial(addr));
-                                assert_eq!(v, expected(i), "ToMemory load {i} round {round}");
+                                assert_eq!(v, expected(i, &st), "ToMemory load {i} round {round}");
                                 sampled.insert(i, v);
                                 St::WaitingData(i as OpId)
                             }
                             LrOutcome::Forwarded { value } => {
-                                assert_eq!(value, expected(i), "forwarded load {i} round {round}");
+                                assert_eq!(
+                                    value,
+                                    expected(i, &st),
+                                    "forwarded load {i} round {round}"
+                                );
                                 St::HasValue(value)
                             }
                             LrOutcome::WaitOn { provider } => St::WaitingData(provider),
                         };
                     }
+                    0..=2 => continue, // nothing left to process
                     // a self-provider's data becomes known (store operands
                     // ready / memory response back)
-                    1 => {
+                    3 | 4 => {
                         let ready: Vec<usize> = (0..processed)
                             .filter(|&i| st[i] == St::WaitingData(i as OpId))
                             .collect();
@@ -484,22 +510,22 @@ mod tests {
                         let v = if ops[i].0 { ops[i].2 } else { sampled[&i] };
                         for w in lr.provider_ready(i as OpId, v) {
                             let w = w as usize;
-                            assert_eq!(v, expected(w), "woken load {w} round {round}");
+                            assert_eq!(v, expected(w, &st), "woken load {w} round {round}");
                             st[w] = St::HasValue(v);
                         }
                         st[i] = St::HasValue(v);
                     }
                     // retire: loads with data any time; stores in program
-                    // order once their data is known
-                    _ => {
+                    // order once their data is known (squashed stores no
+                    // longer gate anything)
+                    5 | 6 => {
                         let pick: Vec<usize> = (0..processed)
                             .filter(|&i| matches!(st[i], St::HasValue(_)))
                             .filter(|&i| {
                                 !ops[i].0
-                                    || ops[..i]
-                                        .iter()
-                                        .enumerate()
-                                        .all(|(j, o)| !o.0 || st[j] == St::Retired)
+                                    || ops[..i].iter().enumerate().all(|(j, o)| {
+                                        !o.0 || matches!(st[j], St::Retired | St::Squashed)
+                                    })
                             })
                             .collect();
                         if pick.is_empty() {
@@ -511,6 +537,26 @@ mod tests {
                             mem.insert(ops[i].1, ops[i].2);
                         }
                         st[i] = St::Retired;
+                    }
+                    // mispredict repair: squash a random youngest suffix of
+                    // the in-flight ops, youngest first, as every precise
+                    // machine's recovery sequence does
+                    _ => {
+                        let mut max_k = 0;
+                        for i in (0..processed).rev() {
+                            if matches!(st[i], St::Retired | St::Squashed) {
+                                break;
+                            }
+                            max_k += 1;
+                        }
+                        if max_k == 0 {
+                            continue;
+                        }
+                        let k = 1 + (next() % max_k) as usize;
+                        for i in ((processed - k)..processed).rev() {
+                            lr.squash(i as OpId);
+                            st[i] = St::Squashed;
+                        }
                     }
                 }
             }
@@ -525,5 +571,31 @@ mod tests {
         lr.process(1, MemOpKind::Store, 4);
         lr.process(2, MemOpKind::Load, 4);
         lr.provider_ready(2, 0); // the waiting load is not a provider
+    }
+
+    #[test]
+    #[should_panic(expected = "processed twice")]
+    fn double_process_is_rejected_in_release_builds_too() {
+        let mut lr = LoadRegUnit::new(2);
+        lr.process(1, MemOpKind::Load, 3);
+        lr.process(1, MemOpKind::Load, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "announced twice")]
+    fn double_announce_is_rejected_in_release_builds_too() {
+        let mut lr = LoadRegUnit::new(2);
+        lr.process(1, MemOpKind::Store, 3);
+        lr.provider_ready(1, 7);
+        lr.provider_ready(1, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "squashed too")]
+    fn out_of_order_squash_is_rejected_in_release_builds_too() {
+        let mut lr = LoadRegUnit::new(2);
+        lr.process(1, MemOpKind::Store, 4);
+        lr.process(2, MemOpKind::Load, 4); // waits on 1
+        lr.squash(1); // oldest-first squash strands the waiting load
     }
 }

@@ -57,6 +57,13 @@ pub trait PipelineObserver {
     /// The decode/issue stage could not issue this cycle.
     fn stall(&mut self, _cycle: u64, _reason: StallReason) {}
 
+    /// A load consulted a finite data cache (`DCacheConfig::Cache`): the
+    /// canonical word address, whether the line was resident, and the
+    /// cycles until the data arrives. Never fires under
+    /// `DCacheConfig::Perfect`, keeping the perfect machine's event
+    /// stream identical to the pre-cache simulators.
+    fn mem_access(&mut self, _cycle: u64, _addr: u64, _hit: bool, _latency: u64) {}
+
     /// A simulated cycle ended with `occupancy` instructions in the
     /// window (in-flight count for the windowless in-order machines).
     /// Fires exactly once per simulated cycle.
@@ -112,6 +119,10 @@ impl PipelineObserver for Tee<'_> {
     fn stall(&mut self, cycle: u64, reason: StallReason) {
         self.a.stall(cycle, reason);
         self.b.stall(cycle, reason);
+    }
+    fn mem_access(&mut self, cycle: u64, addr: u64, hit: bool, latency: u64) {
+        self.a.mem_access(cycle, addr, hit, latency);
+        self.b.mem_access(cycle, addr, hit, latency);
     }
     fn cycle_end(&mut self, cycle: u64, occupancy: u32) {
         self.a.cycle_end(cycle, occupancy);

@@ -34,13 +34,16 @@ pub enum StallReason {
     /// Fetch stalled while the pipeline repaired a branch misprediction
     /// (squash + redirect, §7 speculative machines only).
     MispredictRepair,
+    /// The data cache could not start the access (all outstanding-miss
+    /// registers busy). Never charged under `DCacheConfig::Perfect`.
+    MemStall,
     /// Nothing left to issue (program drained, pipeline emptying).
     Drained,
 }
 
 impl StallReason {
     /// All reasons, for iteration in reports.
-    pub const ALL: [StallReason; 11] = [
+    pub const ALL: [StallReason; 12] = [
         StallReason::OperandsNotReady,
         StallReason::DestinationBusy,
         StallReason::FuBusy,
@@ -51,6 +54,7 @@ impl StallReason {
         StallReason::BranchWait,
         StallReason::DeadCycle,
         StallReason::MispredictRepair,
+        StallReason::MemStall,
         StallReason::Drained,
     ];
 
@@ -66,7 +70,8 @@ impl StallReason {
             StallReason::BranchWait => 7,
             StallReason::DeadCycle => 8,
             StallReason::MispredictRepair => 9,
-            StallReason::Drained => 10,
+            StallReason::MemStall => 10,
+            StallReason::Drained => 11,
         }
     }
 }
@@ -84,6 +89,7 @@ impl fmt::Display for StallReason {
             StallReason::BranchWait => "branch-wait",
             StallReason::DeadCycle => "dead-cycle",
             StallReason::MispredictRepair => "mispredict-repair",
+            StallReason::MemStall => "mem-stall",
             StallReason::Drained => "drained",
         };
         f.write_str(s)
@@ -113,6 +119,13 @@ pub struct RunStats {
     /// Predicted branches that resolved against the prediction and forced
     /// a squash (speculative machines only; zero elsewhere).
     pub mispredicted_branches: u64,
+    /// Data-cache accesses (loads that consulted a finite `DCache`; zero
+    /// under `DCacheConfig::Perfect`).
+    pub dcache_accesses: u64,
+    /// Data-cache hits (including merges into an outstanding fill).
+    pub dcache_hits: u64,
+    /// Data-cache misses that started a fresh line fill.
+    pub dcache_misses: u64,
 }
 
 impl RunStats {
@@ -173,6 +186,13 @@ impl fmt::Display for RunStats {
             )?;
         }
         writeln!(f, "forwarded loads  {:>10}", self.forwarded_loads)?;
+        if self.dcache_accesses > 0 {
+            writeln!(
+                f,
+                "dcache           {:>10} accesses ({} hits, {} misses)",
+                self.dcache_accesses, self.dcache_hits, self.dcache_misses
+            )?;
+        }
         let cycles = self.issue_cycles + self.total_stalls();
         match self.mean_occupancy(cycles) {
             Some(mean) => writeln!(

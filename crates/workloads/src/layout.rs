@@ -61,13 +61,19 @@ pub fn fresh_memory() -> Memory {
 
 /// Fills `len` words at `base` with floats in `(0.1, 1.0)` from `rng`,
 /// returning the values written (for the mirror computation).
+///
+/// # Panics
+/// Panics if the span runs past the memory's capacity: masked writes
+/// would silently wrap and corrupt arrays laid out in low memory, so a
+/// kernel layout that outgrows its memory must fail loudly instead.
 pub fn fill_f64(mem: &mut Memory, base: u64, len: usize, rng: &mut Lcg) -> Vec<f64> {
     let mut vals = Vec::with_capacity(len);
-    for i in 0..len {
+    mem.try_fill(base, len as u64, |_| {
         let v = rng.next_f64(0.1, 1.0);
-        mem.write_f64(base + i as u64, v);
         vals.push(v);
-    }
+        v.to_bits()
+    })
+    .unwrap_or_else(|e| panic!("kernel array layout: {e}"));
     vals
 }
 
@@ -126,6 +132,16 @@ mod tests {
         let checks = checks_f64(100, &vals);
         assert_eq!(checks.len(), 16);
         assert_eq!(checks[3].0, 103);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel array layout")]
+    fn fill_past_capacity_fails_loudly() {
+        let mut mem = fresh_memory();
+        let mut r = Lcg::new(1);
+        // One word past the end: would silently wrap onto address 0 and
+        // corrupt whatever kernel array lives there.
+        let _ = fill_f64(&mut mem, (MEM_WORDS - 8) as u64, 9, &mut r);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //!               [--predictor NAME[:SIZE]]
 //! ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...
 //!               [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]
-//!               [--predictor NAME[:SIZE]]
+//!               [--predictor NAME[:SIZE]] [--dcache GEOM]
+//! ruu-sim cachesim [--mechanism <name>] [--entries N] [--dcache GEOM]
+//!               [--loop <LLL1..LLL14|file.s> | --all-loops]
 //! ruu-sim cbp [--predictor NAME[:SIZE]]... [--loop <LLL1..LLL14|file.s> |
 //!               --all-loops] [--json] [--top N]
 //! ruu-sim trace --mechanism <name> --loop <LLL1..LLL14|file.s> --out FILE
@@ -27,6 +29,14 @@
 //! suite on the parallel `ruu-engine` (`--jobs 0` = one worker per
 //! hardware thread), printing paper-style speedup/issue-rate rows or,
 //! with `--json`, the engine's full [`ruu::engine::SweepReport`].
+//! `--dcache GEOM` swaps the perfect data memory for a finite cache
+//! (`SETSxWAYSxLINE[:MISS[:HIT[:MSHRS]]]`, e.g. `64x4x4:20`); each row
+//! then carries the aggregate cache statistics.
+//!
+//! The `cachesim` subcommand runs one mechanism per loop under both the
+//! perfect memory and a finite `--dcache` geometry, reporting the cycle
+//! cost of the real memory path next to hit rate and load MPKI — the
+//! quickest way to see what §2.2's perfect-memory idealization hides.
 //!
 //! The `cbp` subcommand is the trace-driven predictor championship: it
 //! replays each workload's golden branch stream (from `ruu::exec`)
@@ -63,7 +73,7 @@ use ruu::isa::text;
 use ruu::issue::{Bypass, Mechanism, PreciseScheme, PredictorConfig};
 use ruu::predict::cbp::{evaluate_with_btb, BranchStream, BtbStats, CbpResult};
 use ruu::predict::Btb;
-use ruu::sim::{ChromeTraceObserver, CycleAccountant, MachineConfig, Tee};
+use ruu::sim::{ChromeTraceObserver, CycleAccountant, DCacheConfig, MachineConfig, Tee};
 use ruu::workloads::{livermore, Workload};
 
 struct Options {
@@ -180,7 +190,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: ruu-sim <simple|tomasulo|tagunit|rspool|rstu|ruu|ruu-bypass|ruu-nobypass|\n     ruu-limited|reorder|reorder-bypass|history|future|spec|spec-ruu>\n     [LLL1..LLL14|all|file.s] [--entries N] [--paths N] [--loadregs N]\n     [--predictor NAME[:SIZE]]\n   or: ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...\n     [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]\n     [--predictor NAME[:SIZE]]\n   or: ruu-sim cbp [--predictor NAME[:SIZE]]... [--loop LLL1..LLL14|file.s | --all-loops]\n     [--json] [--top N]\n   or: ruu-sim trace --mechanism <name> --loop <LLL1..LLL14|file.s> --out FILE\n     [--entries N]\n   or: ruu-sim lint [--all-loops|LLL1..LLL14|file.s] [--deny-warnings] [--branch-sites]\n   or: ruu-sim analyze [--all-loops|LLL1..LLL14|file.s] [--mechanism <name>] [--entries N]\n\npredictors: always-taken | btfn | twobit[:N] | bimodal[:N] | gshare[:N] |\n            local[:N] | tage[:N]   (cbp default: the whole zoo)"
+    "usage: ruu-sim <simple|tomasulo|tagunit|rspool|rstu|ruu|ruu-bypass|ruu-nobypass|\n     ruu-limited|reorder|reorder-bypass|history|future|spec|spec-ruu>\n     [LLL1..LLL14|all|file.s] [--entries N] [--paths N] [--loadregs N]\n     [--predictor NAME[:SIZE]]\n   or: ruu-sim sweep --mechanism <name> --entries A:B[:STEP]|N,N,...\n     [--jobs N] [--json] [--paths N] [--loadregs N] [--buses N]\n     [--predictor NAME[:SIZE]] [--dcache GEOM]\n   or: ruu-sim cachesim [--mechanism <name>] [--entries N] [--dcache GEOM]\n     [--all-loops|LLL1..LLL14|file.s]\n   or: ruu-sim cbp [--predictor NAME[:SIZE]]... [--loop LLL1..LLL14|file.s | --all-loops]\n     [--json] [--top N]\n   or: ruu-sim trace --mechanism <name> --loop <LLL1..LLL14|file.s> --out FILE\n     [--entries N]\n   or: ruu-sim lint [--all-loops|LLL1..LLL14|file.s] [--deny-warnings] [--branch-sites]\n   or: ruu-sim analyze [--all-loops|LLL1..LLL14|file.s] [--mechanism <name>] [--entries N]\n\npredictors: always-taken | btfn | twobit[:N] | bimodal[:N] | gshare[:N] |\n            local[:N] | tage[:N]   (cbp default: the whole zoo)\ndcache:     perfect | SETSxWAYSxLINE[:MISS[:HIT[:MSHRS]]]  (e.g. 64x4x4:20)"
         .to_string()
 }
 
@@ -250,6 +260,7 @@ fn run_sweep(mut args: std::env::Args) -> Result<(), String> {
     let mut loadregs: usize = 6;
     let mut buses: u32 = 1;
     let mut predictor = PredictorConfig::default();
+    let mut dcache = DCacheConfig::Perfect;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--mechanism" => mechanism = Some(args.next().ok_or("--mechanism needs a name")?),
@@ -283,6 +294,10 @@ fn run_sweep(mut args: std::env::Args) -> Result<(), String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--buses needs a number")?;
             }
+            "--dcache" => {
+                let spec = args.next().ok_or("--dcache needs a geometry")?;
+                dcache = DCacheConfig::parse(&spec).map_err(|e| e.to_string())?;
+            }
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
@@ -292,7 +307,8 @@ fn run_sweep(mut args: std::env::Args) -> Result<(), String> {
     let cfg = MachineConfig::paper()
         .with_dispatch_paths(paths)
         .with_load_registers(loadregs)
-        .with_result_buses(buses);
+        .with_result_buses(buses)
+        .with_dcache(dcache);
 
     let grid: Vec<Job> = entries
         .iter()
@@ -331,6 +347,15 @@ fn run_sweep(mut args: std::env::Args) -> Result<(), String> {
                 b.mispredicts,
                 b.mpki(j.instructions),
                 b.flush_cycles
+            );
+        }
+        if let Some(c) = &j.cache {
+            println!(
+                "          cache: {} accesses, {} misses ({:.1}% hit, {:.3} MPKI)",
+                c.accesses,
+                c.misses,
+                100.0 * c.hit_rate(),
+                c.mpki(j.instructions)
             );
         }
     }
@@ -400,6 +425,101 @@ fn run_trace(mut args: std::env::Args) -> Result<(), String> {
         acct.issue_cycles(),
         acct.total_stalls(),
         r.cycles
+    );
+    Ok(())
+}
+
+/// Per-loop cache behaviour of one mechanism under one finite `--dcache`
+/// geometry, next to the perfect-memory cycles the paper's §2.2
+/// idealization would report for the same machine.
+fn run_cachesim(mut args: std::env::Args) -> Result<(), String> {
+    let mut name = "ruu".to_string();
+    let mut entries: usize = 15;
+    let mut spec = "64x2x4:20".to_string();
+    let mut pending: Option<&str> = None;
+    let suite = select_workloads(&mut args, &mut |arg| {
+        match pending.take() {
+            Some("--mechanism") => {
+                name = arg.to_string();
+                return Ok(true);
+            }
+            Some("--entries") => {
+                entries = arg.parse().map_err(|_| "--entries needs a number")?;
+                return Ok(true);
+            }
+            Some("--dcache") => {
+                spec = arg.to_string();
+                return Ok(true);
+            }
+            _ => {}
+        }
+        Ok(match arg {
+            "--mechanism" => {
+                pending = Some("--mechanism");
+                true
+            }
+            "--entries" => {
+                pending = Some("--entries");
+                true
+            }
+            "--dcache" => {
+                pending = Some("--dcache");
+                true
+            }
+            _ => false,
+        })
+    })?;
+    let dcache = DCacheConfig::parse(&spec).map_err(|e| e.to_string())?;
+    if dcache.is_perfect() {
+        return Err(
+            "cachesim wants a finite --dcache geometry (SETSxWAYSxLINE[:MISS[:HIT[:MSHRS]]])"
+                .to_string(),
+        );
+    }
+    let mechanism = mechanism_by_name(&name, entries, PredictorConfig::default())?;
+    let perfect_cfg = MachineConfig::paper();
+    let cached_cfg = perfect_cfg.clone().with_dcache(dcache);
+
+    println!("cachesim: {name} under {dcache}");
+    println!(
+        "| {:<8} | {:>10} | {:>10} | {:>8} | {:>9} | {:>8} | {:>7} |",
+        "loop", "perfect", "cached", "slowdown", "accesses", "hit rate", "MPKI"
+    );
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for w in &suite {
+        let run = |cfg: &MachineConfig| {
+            mechanism
+                .run(cfg, &w.program, w.memory.clone(), w.inst_limit)
+                .map_err(|e| format!("{}: {e}", w.name))
+        };
+        let base = run(&perfect_cfg)?;
+        let r = run(&cached_cfg)?;
+        w.verify(&r.memory)
+            .map_err(|e| format!("{}: {e}", w.name))?;
+        let s = &r.stats;
+        totals.0 += base.cycles;
+        totals.1 += r.cycles;
+        totals.2 += s.dcache_accesses;
+        totals.3 += s.dcache_misses;
+        totals.4 += r.instructions;
+        println!(
+            "| {:<8} | {:>10} | {:>10} | {:>7.3}x | {:>9} | {:>7.1}% | {:>7.3} |",
+            w.name,
+            base.cycles,
+            r.cycles,
+            r.cycles as f64 / base.cycles as f64,
+            s.dcache_accesses,
+            100.0 * (s.dcache_hits as f64 / s.dcache_accesses.max(1) as f64),
+            1000.0 * s.dcache_misses as f64 / r.instructions as f64,
+        );
+    }
+    let (bc, cc, acc, miss, insts) = totals;
+    println!(
+        "| {:<8} | {bc:>10} | {cc:>10} | {:>7.3}x | {acc:>9} | {:>7.1}% | {:>7.3} |",
+        "total",
+        cc as f64 / bc as f64,
+        100.0 * ((acc - miss) as f64 / acc.max(1) as f64),
+        1000.0 * miss as f64 / insts.max(1) as f64,
     );
     Ok(())
 }
@@ -736,6 +856,12 @@ fn run() -> Result<(), String> {
         args.next(); // program name
         args.next(); // "trace"
         return run_trace(args);
+    }
+    if std::env::args().nth(1).as_deref() == Some("cachesim") {
+        let mut args = std::env::args();
+        args.next(); // program name
+        args.next(); // "cachesim"
+        return run_cachesim(args);
     }
     if std::env::args().nth(1).as_deref() == Some("cbp") {
         let mut args = std::env::args();

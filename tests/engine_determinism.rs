@@ -107,6 +107,56 @@ fn speculative_grid_is_deterministic_for_every_predictor() {
     }
 }
 
+/// Finite-dcache jobs on the engine: worker count must not change a
+/// single number, including the per-job cache summary — the JSON report
+/// of a parallel run must be byte-identical to the serial run's. Cache
+/// state lives inside each unit's own `DCache` instance, so cross-thread
+/// scheduling has nothing to leak.
+#[test]
+fn finite_dcache_grid_is_deterministic_across_worker_counts() {
+    use ruu::sim::DCacheConfig;
+    let jobs: Vec<Job> = ["16x1x2:25:3:1", "64x2x4:20", "256x4x8:40:2:8"]
+        .iter()
+        .map(|spec| {
+            Job::new(
+                Mechanism::Ruu {
+                    entries: 15,
+                    bypass: Bypass::Full,
+                },
+                MachineConfig::paper()
+                    .with_dcache(DCacheConfig::parse(spec).expect("test geometry")),
+            )
+        })
+        .collect();
+    let serial = SweepEngine::livermore()
+        .with_workers(1)
+        .run_grid(&jobs)
+        .expect("serial grid runs");
+    let parallel = SweepEngine::livermore()
+        .with_workers(4)
+        .run_grid(&jobs)
+        .expect("parallel grid runs");
+    assert_eq!(serial.jobs.len(), parallel.jobs.len());
+    for (s, p) in serial.jobs.iter().zip(&parallel.jobs) {
+        assert_eq!(s.cycles, p.cycles, "{}", s.label);
+        let (sc, pc) = (
+            s.cache.expect("finite-dcache job has cache stats"),
+            p.cache.expect("finite-dcache job has cache stats"),
+        );
+        assert_eq!(sc, pc, "{}", s.label);
+        assert!(sc.accesses > 0, "{}: cache never consulted", s.label);
+        assert_eq!(sc.hits + sc.misses, sc.accesses, "{}", s.label);
+    }
+    // The serialized reports carry identical per-job `cache` objects
+    // (only the wall-clock engine stats may differ).
+    let strip = |json: &str| {
+        let jobs_at = json.find("\"jobs\":[").expect("report has a jobs array");
+        json[jobs_at..].to_string()
+    };
+    assert_eq!(strip(&serial.to_json()), strip(&parallel.to_json()));
+    assert_eq!(serial.to_json().matches("\"cache\":").count(), jobs.len());
+}
+
 /// The engine-backed sweep must reproduce the legacy serial sweep loop
 /// (`ruu_bench::harness::sweep_serial`) exactly. This pins the API
 /// redesign to the old behaviour: same suite order, same aggregation,
